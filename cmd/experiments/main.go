@@ -1,0 +1,80 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig11
+//	experiments -run all [-scale 2] [-workers 8] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment id (table2, fig8..fig17) or 'all'")
+		scale   = flag.Int("scale", 1, "workload scale factor (multiplies window counts)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "print per-simulation progress")
+		format  = flag.String("format", "table", "output format: table, csv, or json")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun one with: experiments -run <id>   (or -run all)")
+		}
+		return
+	}
+
+	r := harness.NewRunner(*scale)
+	r.Workers = *workers
+	if *verbose {
+		r.Verbose = os.Stderr
+	}
+
+	exps := harness.All()
+	if *run != "all" {
+		e, err := harness.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []harness.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		tbl, err := e.Run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, tbl.CSV())
+			continue
+		case "json":
+			js, err := tbl.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(js)
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		fmt.Print(tbl.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,134 @@
+// Command stasim runs a single benchmark on a single superthreaded
+// processor configuration and prints its statistics.
+//
+// Usage:
+//
+//	stasim -bench mcf -config wth-wp-wec -tus 8
+//	stasim -bench equake -config orig -tus 1 -scale 2
+//	stasim -file examples/program.sta -config wth-wp-wec
+//	stasim -bench gzip -disasm | head
+//	stasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/sta"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "mcf", "benchmark (vpr, gzip, mcf, parser, equake, mesa)")
+		cfgName = flag.String("config", "orig", "processor configuration (orig, vc, wp, wth, wth-wp, wth-wp-vc, wth-wp-wec, nlp)")
+		tus     = flag.Int("tus", 8, "thread units")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		entries = flag.Int("side", 8, "side buffer entries (WEC/VC/PB)")
+		l1kb    = flag.Int("l1", 8, "L1 data cache size in KB")
+		l1way   = flag.Int("assoc", 1, "L1 data cache associativity")
+		l2kb    = flag.Int("l2", 64, "shared L2 size in KB")
+		file    = flag.String("file", "", "assemble and run a .sta source file instead of a benchmark")
+		disasm  = flag.Bool("disasm", false, "print the program listing instead of simulating")
+		doTrace = flag.Bool("trace", false, "stream thread-lifecycle events to stderr")
+		list    = flag.Bool("list", false, "list benchmarks and configurations")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, w := range workload.All() {
+			fmt.Printf("  %-8s (%s, %s)\n", w.Short, w.Name, w.Suite)
+		}
+		fmt.Println("configurations:")
+		for _, n := range config.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	var prog *isa.Program
+	title := *bench
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		fatal(err)
+		prog, err = asm.Parse(string(src))
+		fatal(err)
+		title = *file
+	} else {
+		w, err := workload.ByName(*bench)
+		fatal(err)
+		prog, err = w.Build(*scale)
+		fatal(err)
+		title = fmt.Sprintf("%s (%s)", w.Short, w.Name)
+	}
+
+	if *disasm {
+		for pc, in := range prog.Insts {
+			for name, at := range prog.Symbols {
+				if at == int64(pc) && isLabel(prog, name) {
+					fmt.Printf("%s:\n", name)
+				}
+			}
+			fmt.Printf("%5d  %s\n", pc, in)
+		}
+		return
+	}
+
+	cfg := config.Main(*tus)
+	cfg.Mem.SideEntries = *entries
+	cfg.Mem.L1DSize = *l1kb * 1024
+	cfg.Mem.L1DAssoc = *l1way
+	cfg.Mem.L2Size = *l2kb * 1024
+	fatal(config.Apply(config.Name(*cfgName), &cfg))
+
+	m, err := sta.New(cfg, prog)
+	fatal(err)
+	if *doTrace {
+		m.Trace = trace.Writer{W: os.Stderr}
+	}
+	res, err := m.Run()
+	fatal(err)
+
+	s := &res.Stats
+	fmt.Printf("benchmark        %s\n", title)
+	fmt.Printf("configuration    %s, %d TUs, L1 %dKB %d-way, L2 %dKB, side %d entries\n",
+		*cfgName, *tus, *l1kb, *l1way, *l2kb, *entries)
+	fmt.Printf("cycles           %d\n", s.Cycles)
+	fmt.Printf("commits          %d (IPC %.2f)\n", s.Commits, s.IPC())
+	fmt.Printf("parallel cycles  %d (%.1f%% of time)\n", s.ParCycles,
+		100*float64(s.ParCycles)/float64(s.Cycles))
+	fmt.Printf("forks/aborts     %d / %d (wrong threads: %d)\n", s.Forks, s.Aborts, s.WrongThreads)
+	fmt.Printf("branches         %d (%.1f%% predicted)\n", s.Branches, 100*s.BranchAccuracy())
+	fmt.Printf("L1D accesses     %d (miss rate %.3f, %d misses)\n",
+		s.L1DAccesses, s.L1DMissRate(), s.L1DMisses)
+	fmt.Printf("L1D traffic      %d (incl. wrong execution)\n", s.L1DTraffic)
+	fmt.Printf("wrong loads      %d (wrong-path %d, wrong-thread %d)\n",
+		s.WrongLoads, s.WrongPathLoads, s.WrongThLoads)
+	fmt.Printf("side buffer      %d hits (%d on wrong-fetched blocks), %d inserts\n",
+		s.WECHits, s.WrongUseful, s.WECInserts)
+	fmt.Printf("prefetches       %d issued, %d useful\n", s.PrefIssued, s.PrefUseful)
+	fmt.Printf("L2               %d accesses, %d misses; DRAM fills %d\n",
+		s.L2Accesses, s.L2Misses, s.MemAccesses)
+	fmt.Printf("update traffic   %d bus transactions\n", s.UpdateTraffic)
+	fmt.Printf("memory checksum  %#x\n", res.MemCheck)
+}
+
+// isLabel reports whether a symbol is a code label (its value is a valid
+// instruction index rather than a data address).
+func isLabel(p *isa.Program, name string) bool {
+	v := p.Symbols[name]
+	return v >= 0 && v < int64(len(p.Insts)) && v < asm.DataBase
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Using Incorrect
+// Speculation to Prefetch Data in a Concurrent Multithreaded Processor"
+// (Chen, Sendag, Lilja; IPDPS 2003): a cycle-level simulator of the
+// superthreaded architecture with wrong-path and wrong-thread execution and
+// the Wrong Execution Cache (WEC), six SPEC2000-archetype benchmark
+// kernels, and a harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Start with README.md, DESIGN.md (system inventory and per-experiment
+// index), and EXPERIMENTS.md (paper-versus-measured results). The
+// benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=Fig11 -benchtime=1x .
+//
+// The command-line tools live under cmd/:
+//
+//	go run ./cmd/stasim -bench mcf -config wth-wp-wec
+//	go run ./cmd/experiments -run all
+package repro

@@ -1,0 +1,63 @@
+// Capacity: the paper's Figure 13 in miniature. Sweeps the L1 data cache
+// size on the equake-like kernel and shows that the WEC's benefit shrinks
+// as the L1 grows — and that a small L1 plus an 8-entry WEC can outrun a
+// much larger L1 without one (§5.3.2: "an excellent use of chip area").
+//
+// Run with: go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/sta"
+	"repro/internal/workload"
+)
+
+func run(name config.Name, l1kb int) *sta.Result {
+	w, err := workload.ByName("equake")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := w.Build(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := config.Main(8)
+	cfg.Mem.L1DSize = l1kb * 1024
+	if err := config.Apply(name, &cfg); err != nil {
+		log.Fatal(err)
+	}
+	m, err := sta.New(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("183.equake stand-in, 8 TUs: L1 size sweep (cycles, lower is better)")
+	fmt.Printf("%8s %12s %12s %10s\n", "L1 size", "orig", "wth-wp-wec", "wec gain")
+	for _, kb := range []int{4, 8, 16, 32} {
+		orig := run(config.Orig, kb)
+		wec := run(config.WTHWPWEC, kb)
+		gain := 100 * (float64(orig.Stats.Cycles)/float64(wec.Stats.Cycles) - 1)
+		fmt.Printf("%6dKB %12d %12d %+9.1f%%\n",
+			kb, orig.Stats.Cycles, wec.Stats.Cycles, gain)
+	}
+	fmt.Println("\nCompare a small L1 with a WEC against a doubled L1 without one:")
+	small := run(config.WTHWPWEC, 4)
+	big := run(config.Orig, 8)
+	fmt.Printf("  4KB L1 + 8-entry WEC: %d cycles\n", small.Stats.Cycles)
+	fmt.Printf("  8KB L1, no WEC:       %d cycles\n", big.Stats.Cycles)
+	if small.Stats.Cycles < big.Stats.Cycles {
+		fmt.Println("  -> the WEC is the better use of the area (paper §5.3.2)")
+	} else {
+		fmt.Println("  -> on this kernel the larger L1 wins; see EXPERIMENTS.md")
+	}
+}

@@ -1,0 +1,52 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// ExampleParse assembles a textual program and runs it on the functional
+// interpreter.
+func ExampleParse() {
+	prog, err := asm.Parse(`
+		.data counter 8
+		li  r1, &counter
+		li  r2, 0
+		li  r3, 5
+	loop:
+		addi r2, r2, 1
+		blt  r2, r3, loop
+		st   r2, 0(r1)
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := interp.Run(prog)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Mem.ReadWord(uint64(prog.Symbols["counter"])))
+	// Output: 5
+}
+
+// ExampleBuilder shows the programmatic path to the same program.
+func ExampleBuilder() {
+	b := asm.New()
+	cnt := b.Alloc("counter", 8, 0)
+	b.Li(1, int64(cnt))
+	b.Li(2, 41)
+	b.OpI(isa.ADDI, 2, 2, 1)
+	b.St(2, 0, 1)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, _ := interp.Run(p)
+	fmt.Println(res.Mem.ReadWord(cnt))
+	// Output: 42
+}

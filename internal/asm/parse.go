@@ -1,0 +1,439 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Parse assembles textual assembly into a program. The syntax mirrors the
+// disassembler output plus data directives:
+//
+//	; comment                      — also "//" and "#"
+//	.data  name size [align]       — allocate data, record symbol
+//	.word  name offset value       — initialize a 64-bit word
+//	.float name offset value       — initialize a float64
+//	label:
+//	    li    r1, 42               — also "li r1, &name" (symbol address)
+//	    add   r3, r1, r2
+//	    addi  r3, r1, -8
+//	    ld    r2, 8(r1)            — fld/fst use f-registers: fld f1, 0(r2)
+//	    st    r2, 8(r1)            — store r2 to mem[r1+8]
+//	    beq   r1, r2, label
+//	    jmp   label / jal r31, label / jr r1
+//	    begin r1, r2, r3           — forward mask
+//	    fork  label
+//	    tsa   0(r5) / tst r2, 0(r5) / tsagd / thend / abort
+//	    fli   f1, 2.5
+//	    halt / nop
+//
+// Integer registers are r0-r31, FP registers f0-f31. Immediates may be
+// decimal or 0x-hexadecimal.
+func Parse(src string) (*isa.Program, error) {
+	b := New()
+	p := &parser{b: b, syms: make(map[string]uint64)}
+	for lineno, raw := range strings.Split(src, "\n") {
+		if err := p.line(raw); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineno+1, err)
+		}
+	}
+	return b.Build()
+}
+
+type parser struct {
+	b    *Builder
+	syms map[string]uint64 // data symbols for &name references
+}
+
+func (p *parser) line(raw string) error {
+	// Strip comments.
+	for _, marker := range []string{";", "//", "#"} {
+		if i := strings.Index(raw, marker); i >= 0 {
+			raw = raw[:i]
+		}
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[:i])
+		if !validIdent(name) {
+			return fmt.Errorf("bad label %q", name)
+		}
+		p.b.Label(name)
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		// Directives take space-separated operands.
+		fields := strings.Fields(s)
+		op := strings.ToLower(fields[0])
+		args := fields[1:]
+		switch op {
+		case ".data":
+			return p.dataDirective(args)
+		case ".word", ".float":
+			return p.initDirective(op, args)
+		}
+		return fmt.Errorf("unknown directive %q", op)
+	}
+	fields := splitOperands(s)
+	op := strings.ToLower(fields[0])
+	args := fields[1:]
+	return p.instruction(op, args)
+}
+
+// splitOperands tokenizes "op a, b, c" into ["op","a","b","c"].
+func splitOperands(s string) []string {
+	var out []string
+	mn := s
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mn, s = s[:i], strings.TrimSpace(s[i+1:])
+		out = append(out, mn)
+		for _, part := range strings.Split(s, ",") {
+			part = strings.TrimSpace(part)
+			if part != "" {
+				out = append(out, part)
+			}
+		}
+		return out
+	}
+	return []string{mn}
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (p *parser) dataDirective(args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf(".data wants: name size [align]")
+	}
+	name := args[0]
+	if !validIdent(name) {
+		return fmt.Errorf("bad data symbol %q", name)
+	}
+	size, err := strconv.ParseInt(args[1], 0, 64)
+	if err != nil || size <= 0 {
+		return fmt.Errorf("bad size %q", args[1])
+	}
+	align := int64(0)
+	if len(args) == 3 {
+		align, err = strconv.ParseInt(args[2], 0, 64)
+		if err != nil || align < 0 {
+			return fmt.Errorf("bad alignment %q", args[2])
+		}
+	}
+	p.syms[name] = p.b.Alloc(name, int(size), int(align))
+	return nil
+}
+
+func (p *parser) initDirective(op string, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("%s wants: name offset value", op)
+	}
+	base, ok := p.syms[args[0]]
+	if !ok {
+		return fmt.Errorf("unknown data symbol %q", args[0])
+	}
+	off, err := strconv.ParseInt(args[1], 0, 64)
+	if err != nil || off < 0 {
+		return fmt.Errorf("bad offset %q", args[1])
+	}
+	if op == ".float" {
+		v, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad float %q", args[2])
+		}
+		p.b.InitFloat(base+uint64(off), v)
+		return nil
+	}
+	v, err := strconv.ParseInt(args[2], 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q", args[2])
+	}
+	p.b.InitWord(base+uint64(off), v)
+	return nil
+}
+
+func (p *parser) reg(s string, fp bool) (int, error) {
+	want := byte('r')
+	if fp {
+		want = 'f'
+	}
+	if len(s) < 2 || (s[0] != want && s[0] != want-32) {
+		return 0, fmt.Errorf("expected %c-register, got %q", want, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumIntRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func (p *parser) imm(s string) (int64, error) {
+	if strings.HasPrefix(s, "&") {
+		base, ok := p.syms[s[1:]]
+		if !ok {
+			return 0, fmt.Errorf("unknown data symbol %q", s[1:])
+		}
+		return int64(base), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "off(rN)".
+func (p *parser) memOperand(s string) (int64, int, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected off(reg), got %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		var err error
+		off, err = p.imm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	r, err := p.reg(s[open+1:len(s)-1], false)
+	return off, r, err
+}
+
+var op3Table = map[string]isa.Op{
+	"add": isa.ADD, "sub": isa.SUB, "mul": isa.MUL, "div": isa.DIV,
+	"rem": isa.REM, "and": isa.AND, "or": isa.OR, "xor": isa.XOR,
+	"sll": isa.SLL, "srl": isa.SRL, "sra": isa.SRA, "slt": isa.SLT,
+	"sltu": isa.SLTU,
+}
+
+var fp3Table = map[string]isa.Op{
+	"fadd": isa.FADD, "fsub": isa.FSUB, "fmul": isa.FMUL, "fdiv": isa.FDIV,
+	"fmin": isa.FMIN, "fmax": isa.FMAX,
+}
+
+var opITable = map[string]isa.Op{
+	"addi": isa.ADDI, "andi": isa.ANDI, "ori": isa.ORI, "xori": isa.XORI,
+	"slli": isa.SLLI, "srli": isa.SRLI, "srai": isa.SRAI, "slti": isa.SLTI,
+}
+
+var brTable = map[string]isa.Op{
+	"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT, "bge": isa.BGE,
+	"bltu": isa.BLTU, "bgeu": isa.BGEU,
+}
+
+func (p *parser) instruction(op string, args []string) error {
+	argn := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	if o, ok := op3Table[op]; ok {
+		if err := argn(3); err != nil {
+			return err
+		}
+		rd, err1 := p.reg(args[0], false)
+		rs1, err2 := p.reg(args[1], false)
+		rs2, err3 := p.reg(args[2], false)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		p.b.Op3(o, rd, rs1, rs2)
+		return nil
+	}
+	if o, ok := fp3Table[op]; ok {
+		if err := argn(3); err != nil {
+			return err
+		}
+		rd, err1 := p.reg(args[0], true)
+		rs1, err2 := p.reg(args[1], true)
+		rs2, err3 := p.reg(args[2], true)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		p.b.Op3(o, rd, rs1, rs2)
+		return nil
+	}
+	if o, ok := opITable[op]; ok {
+		if err := argn(3); err != nil {
+			return err
+		}
+		rd, err1 := p.reg(args[0], false)
+		rs1, err2 := p.reg(args[1], false)
+		imm, err3 := p.imm(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		p.b.OpI(o, rd, rs1, imm)
+		return nil
+	}
+	if o, ok := brTable[op]; ok {
+		if err := argn(3); err != nil {
+			return err
+		}
+		rs1, err1 := p.reg(args[0], false)
+		rs2, err2 := p.reg(args[1], false)
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		if !validIdent(args[2]) {
+			return fmt.Errorf("bad branch target %q", args[2])
+		}
+		p.b.Br(o, rs1, rs2, args[2])
+		return nil
+	}
+	switch op {
+	case "li":
+		if err := argn(2); err != nil {
+			return err
+		}
+		rd, err1 := p.reg(args[0], false)
+		imm, err2 := p.imm(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		p.b.Li(rd, imm)
+	case "fli":
+		if err := argn(2); err != nil {
+			return err
+		}
+		rd, err := p.reg(args[0], true)
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad float %q", args[1])
+		}
+		p.b.Fli(rd, v)
+	case "ld", "fld":
+		if err := argn(2); err != nil {
+			return err
+		}
+		rd, err1 := p.reg(args[0], op == "fld")
+		off, rs1, err2 := p.memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		if op == "ld" {
+			p.b.Ld(rd, off, rs1)
+		} else {
+			p.b.Fld(rd, off, rs1)
+		}
+	case "st", "fst", "tst":
+		if err := argn(2); err != nil {
+			return err
+		}
+		rs2, err1 := p.reg(args[0], op == "fst")
+		off, rs1, err2 := p.memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		switch op {
+		case "st":
+			p.b.St(rs2, off, rs1)
+		case "fst":
+			p.b.Fst(rs2, off, rs1)
+		case "tst":
+			p.b.Tst(rs2, off, rs1)
+		}
+	case "tsa":
+		if err := argn(1); err != nil {
+			return err
+		}
+		off, rs1, err := p.memOperand(args[0])
+		if err != nil {
+			return err
+		}
+		p.b.Tsa(off, rs1)
+	case "jmp":
+		if err := argn(1); err != nil {
+			return err
+		}
+		p.b.Jmp(args[0])
+	case "jal":
+		if err := argn(2); err != nil {
+			return err
+		}
+		rd, err := p.reg(args[0], false)
+		if err != nil {
+			return err
+		}
+		p.b.Jal(rd, args[1])
+	case "jr":
+		if err := argn(1); err != nil {
+			return err
+		}
+		rs1, err := p.reg(args[0], false)
+		if err != nil {
+			return err
+		}
+		p.b.Jr(rs1)
+	case "begin":
+		regs := make([]int, 0, len(args))
+		for _, a := range args {
+			r, err := p.reg(a, false)
+			if err != nil {
+				return err
+			}
+			regs = append(regs, r)
+		}
+		p.b.Begin(regs...)
+	case "fork":
+		if err := argn(1); err != nil {
+			return err
+		}
+		p.b.Fork(args[0])
+	case "tsagd":
+		p.b.Tsagd()
+	case "thend":
+		p.b.Thend()
+	case "abort":
+		p.b.Abort()
+	case "halt":
+		p.b.Halt()
+	case "nop":
+		p.b.Nop()
+	default:
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustParse(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBasicProgram(t *testing.T) {
+	p := mustParse(t, `
+		; a comment
+		li   r1, 10     // another comment
+		li   r2, 0x20   # and another
+		add  r3, r1, r2
+		halt
+	`)
+	if len(p.Insts) != 4 {
+		t.Fatalf("got %d instructions", len(p.Insts))
+	}
+	if p.Insts[1].Imm != 0x20 {
+		t.Errorf("hex immediate = %d", p.Insts[1].Imm)
+	}
+	if p.Insts[2].Op != isa.ADD || p.Insts[2].Rd != 3 {
+		t.Errorf("add parsed as %+v", p.Insts[2])
+	}
+}
+
+func TestParseLabelsAndBranches(t *testing.T) {
+	p := mustParse(t, `
+		li r1, 0
+		li r2, 5
+	loop:
+		addi r1, r1, 1
+		blt  r1, r2, loop
+		jmp  done
+		nop
+	done: halt
+	`)
+	if p.Symbols["loop"] != 2 {
+		t.Errorf("loop = %d", p.Symbols["loop"])
+	}
+	// The branch targets loop (2); jmp targets done (6).
+	if p.Insts[3].Imm != 2 {
+		t.Errorf("branch target = %d", p.Insts[3].Imm)
+	}
+	if p.Insts[4].Imm != 6 {
+		t.Errorf("jmp target = %d", p.Insts[4].Imm)
+	}
+}
+
+func TestParseDataDirectives(t *testing.T) {
+	p := mustParse(t, `
+		.data  arr 64 64
+		.word  arr 0 42
+		.word  arr 8 -7
+		.float arr 16 2.5
+		li r1, &arr
+		ld r2, 0(r1)
+		halt
+	`)
+	base := uint64(p.Symbols["arr"])
+	if base == 0 || base%64 != 0 {
+		t.Fatalf("arr base = %#x", base)
+	}
+	if p.Insts[0].Imm != int64(base) {
+		t.Errorf("&arr = %d, want %d", p.Insts[0].Imm, base)
+	}
+	// Data segments contain the initialized values.
+	found := false
+	for _, seg := range p.Data {
+		if seg.Addr <= base && base < seg.Addr+uint64(len(seg.Bytes)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("initialized data not in any segment")
+	}
+}
+
+func TestParseMemoryOperands(t *testing.T) {
+	p := mustParse(t, `
+		ld  r1, 8(r2)
+		ld  r1, (r2)
+		st  r3, -16(r4)
+		fld f1, 0(r5)
+		fst f2, 24(r6)
+		tst r7, 0(r8)
+		tsa 32(r9)
+		halt
+	`)
+	if p.Insts[0].Imm != 8 || p.Insts[0].Rs1 != 2 {
+		t.Errorf("ld = %+v", p.Insts[0])
+	}
+	if p.Insts[1].Imm != 0 {
+		t.Errorf("(r2) offset = %d", p.Insts[1].Imm)
+	}
+	if p.Insts[2].Imm != -16 || p.Insts[2].Rs2 != 3 {
+		t.Errorf("st = %+v", p.Insts[2])
+	}
+	if p.Insts[3].Op != isa.FLD || p.Insts[4].Op != isa.FST {
+		t.Error("fp memory ops wrong")
+	}
+	if p.Insts[5].Op != isa.TST || p.Insts[6].Op != isa.TSA || p.Insts[6].Imm != 32 {
+		t.Error("target store ops wrong")
+	}
+}
+
+func TestParseSTAOps(t *testing.T) {
+	p := mustParse(t, `
+		begin r1, r2, r3
+	body:
+		fork  body
+		tsagd
+		thend
+		abort
+		halt
+	`)
+	if p.Insts[0].Op != isa.BEGIN || p.Insts[0].Imm != (1<<1|1<<2|1<<3) {
+		t.Errorf("begin = %+v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.FORK || p.Insts[1].Imm != 1 {
+		t.Errorf("fork = %+v", p.Insts[1])
+	}
+}
+
+func TestParseFPRegisters(t *testing.T) {
+	p := mustParse(t, `
+		fli  f1, 1.5
+		fadd f2, f1, f1
+		halt
+	`)
+	_, got := isa.Eval(p.Insts[0], 0, 0, 0, 0)
+	if got != 1.5 {
+		t.Errorf("fli value = %g", got)
+	}
+	if p.Insts[1].Op != isa.FADD {
+		t.Error("fadd wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",      // unknown mnemonic
+		"add r1, r2",        // operand count
+		"add r1, r2, r40",   // bad register
+		"ld r1, 8[r2]",      // bad memory operand
+		"li r1, &nope",      // unknown symbol
+		"beq r1, r2, 5bad",  // bad label name
+		".data x -4",        // bad size
+		".word nope 0 1",    // unknown data symbol
+		"li r1, zzz",        // bad immediate
+		"fadd f1, r1, f2",   // wrong register file
+		"jmp nowhere\nhalt", // undefined label (caught at Build)
+		"x: nop\nx: nop",    // duplicate label
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseRoundtripThroughDisassembler(t *testing.T) {
+	// Parse a program, disassemble every instruction, re-parse the
+	// disassembly of the register-register subset, and compare.
+	src := `
+		li  r1, 7
+		add r2, r1, r1
+		sub r3, r2, r1
+		mul r4, r3, r3
+		halt
+	`
+	p1 := mustParse(t, src)
+	var sb strings.Builder
+	for _, in := range p1.Insts {
+		sb.WriteString(in.String())
+		sb.WriteByte('\n')
+	}
+	p2 := mustParse(t, sb.String())
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1.Insts), len(p2.Insts))
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d: %v vs %v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package bpred
+
+import "fmt"
+
+// DirKind selects the direction-prediction scheme of a thread unit.
+type DirKind uint8
+
+// Direction predictor schemes (sim-outorder's -bpred flavors).
+const (
+	DirBimodal DirKind = iota // per-PC 2-bit counters (the paper's default)
+	DirGshare                 // global history XOR PC into 2-bit counters
+	DirComb                   // bimodal + gshare with a per-PC chooser
+	DirTaken                  // static predict-taken (accuracy floor)
+)
+
+// String names the scheme.
+func (k DirKind) String() string {
+	switch k {
+	case DirBimodal:
+		return "bimodal"
+	case DirGshare:
+		return "gshare"
+	case DirComb:
+		return "comb"
+	case DirTaken:
+		return "taken"
+	}
+	return fmt.Sprintf("dir(%d)", uint8(k))
+}
+
+// DirPredictor is a direction-prediction scheme: predict by PC, then train
+// with the resolved outcome. Implementations are not safe for concurrent
+// use.
+type DirPredictor interface {
+	Predict(pc int) bool
+	Update(pc int, taken bool)
+}
+
+// NewDir builds a direction predictor of the given kind and table size
+// (entries must be a power of two; history bits apply to gshare/comb).
+func NewDir(kind DirKind, entries, historyBits int) (DirPredictor, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("bpred: table entries %d not a power of two", entries)
+	}
+	switch kind {
+	case DirBimodal:
+		return newBimodalDir(entries), nil
+	case DirGshare:
+		if historyBits <= 0 || historyBits > 30 {
+			return nil, fmt.Errorf("bpred: history bits %d out of range", historyBits)
+		}
+		return newGshareDir(entries, historyBits), nil
+	case DirComb:
+		g, err := NewDir(DirGshare, entries, historyBits)
+		if err != nil {
+			return nil, err
+		}
+		return &combDir{
+			bim:     newBimodalDir(entries),
+			gsh:     g.(*gshareDir),
+			chooser: newCounterTable(entries),
+		}, nil
+	case DirTaken:
+		return takenDir{}, nil
+	}
+	return nil, fmt.Errorf("bpred: unknown direction scheme %d", kind)
+}
+
+// counterTable is an array of 2-bit saturating counters, weakly taken.
+type counterTable struct {
+	c    []uint8
+	mask int
+}
+
+func newCounterTable(entries int) *counterTable {
+	t := &counterTable{c: make([]uint8, entries), mask: entries - 1}
+	for i := range t.c {
+		t.c[i] = 2
+	}
+	return t
+}
+
+func (t *counterTable) taken(idx int) bool { return t.c[idx&t.mask] >= 2 }
+
+func (t *counterTable) train(idx int, up bool) {
+	i := idx & t.mask
+	if up {
+		if t.c[i] < 3 {
+			t.c[i]++
+		}
+	} else if t.c[i] > 0 {
+		t.c[i]--
+	}
+}
+
+type bimodalDir struct{ t *counterTable }
+
+func newBimodalDir(entries int) *bimodalDir {
+	return &bimodalDir{t: newCounterTable(entries)}
+}
+
+func (b *bimodalDir) Predict(pc int) bool       { return b.t.taken(pc) }
+func (b *bimodalDir) Update(pc int, taken bool) { b.t.train(pc, taken) }
+
+// gshareDir XORs a global branch-history register with the PC.
+type gshareDir struct {
+	t       *counterTable
+	history int
+	hmask   int
+}
+
+func newGshareDir(entries, historyBits int) *gshareDir {
+	return &gshareDir{t: newCounterTable(entries), hmask: (1 << historyBits) - 1}
+}
+
+func (g *gshareDir) idx(pc int) int { return pc ^ g.history }
+
+func (g *gshareDir) Predict(pc int) bool { return g.t.taken(g.idx(pc)) }
+
+func (g *gshareDir) Update(pc int, taken bool) {
+	g.t.train(g.idx(pc), taken)
+	g.history = ((g.history << 1) | b2i(taken)) & g.hmask
+}
+
+// combDir picks per-PC between bimodal and gshare with a chooser table.
+type combDir struct {
+	bim     *bimodalDir
+	gsh     *gshareDir
+	chooser *counterTable // >=2 means "use gshare"
+}
+
+func (c *combDir) Predict(pc int) bool {
+	if c.chooser.taken(pc) {
+		return c.gsh.Predict(pc)
+	}
+	return c.bim.Predict(pc)
+}
+
+func (c *combDir) Update(pc int, taken bool) {
+	bw := c.bim.Predict(pc) == taken
+	gw := c.gsh.Predict(pc) == taken
+	if bw != gw {
+		c.chooser.train(pc, gw)
+	}
+	c.bim.Update(pc, taken)
+	c.gsh.Update(pc, taken)
+}
+
+type takenDir struct{}
+
+func (takenDir) Predict(int) bool { return true }
+func (takenDir) Update(int, bool) {}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

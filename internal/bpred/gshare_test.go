@@ -1,0 +1,115 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func accuracyOn(t *testing.T, kind DirKind, pattern func(i int) (pc int, taken bool), n int) float64 {
+	t.Helper()
+	d, err := NewDir(kind, 4096, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		pc, taken := pattern(i)
+		if d.Predict(pc) == taken {
+			correct++
+		}
+		d.Update(pc, taken)
+	}
+	return float64(correct) / float64(n)
+}
+
+func TestNewDirValidation(t *testing.T) {
+	if _, err := NewDir(DirBimodal, 100, 10); err == nil {
+		t.Error("non-power-of-two table accepted")
+	}
+	if _, err := NewDir(DirGshare, 1024, 0); err == nil {
+		t.Error("zero history accepted")
+	}
+	if _, err := NewDir(DirKind(99), 1024, 10); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	for _, k := range []DirKind{DirBimodal, DirGshare, DirComb, DirTaken} {
+		if _, err := NewDir(k, 1024, 8); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+		if k.String() == "" {
+			t.Errorf("%v has no name", k)
+		}
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	// A period-4 pattern (TTNT) at one PC: bimodal cannot track it, gshare
+	// with history can learn it nearly perfectly.
+	pat := []bool{true, true, false, true}
+	pattern := func(i int) (int, bool) { return 64, pat[i%len(pat)] }
+	g := accuracyOn(t, DirGshare, pattern, 4000)
+	b := accuracyOn(t, DirBimodal, pattern, 4000)
+	if g < 0.95 {
+		t.Errorf("gshare accuracy %.3f on periodic pattern", g)
+	}
+	if g <= b {
+		t.Errorf("gshare (%.3f) should beat bimodal (%.3f) on history patterns", g, b)
+	}
+}
+
+func TestCombAtLeastAsGoodAsParts(t *testing.T) {
+	// Mixed workload: one biased branch plus one history-dependent branch.
+	rng := rand.New(rand.NewSource(99))
+	pat := []bool{true, false, false, true}
+	pattern := func(i int) (int, bool) {
+		if i%2 == 0 {
+			return 10, rng.Float64() < 0.95 // strongly biased
+		}
+		return 20, pat[(i/2)%len(pat)]
+	}
+	c := accuracyOn(t, DirComb, pattern, 20000)
+	b := accuracyOn(t, DirBimodal, pattern, 20000)
+	if c < b-0.02 {
+		t.Errorf("comb (%.3f) materially worse than bimodal (%.3f)", c, b)
+	}
+	if c < 0.85 {
+		t.Errorf("comb accuracy %.3f too low on mixed workload", c)
+	}
+}
+
+func TestTakenPredictor(t *testing.T) {
+	d, _ := NewDir(DirTaken, 1024, 8)
+	if !d.Predict(0) {
+		t.Error("static taken predicted not-taken")
+	}
+	d.Update(0, false) // no-op, must not panic
+	if !d.Predict(0) {
+		t.Error("static predictor trained?")
+	}
+}
+
+func TestRandomBranchesNearChance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pattern := func(i int) (int, bool) { return 32, rng.Intn(2) == 0 }
+	for _, k := range []DirKind{DirBimodal, DirGshare, DirComb} {
+		acc := accuracyOn(t, k, pattern, 20000)
+		if acc < 0.40 || acc > 0.60 {
+			t.Errorf("%v accuracy %.3f on random branches (expected ~0.5)", k, acc)
+		}
+	}
+}
+
+func TestPredictorWithGshareConfig(t *testing.T) {
+	cfg := Default()
+	cfg.Dir = DirGshare
+	p := MustNew(cfg)
+	pat := []bool{true, false, false}
+	for i := 0; i < 3000; i++ {
+		taken := pat[i%3]
+		pred := p.PredictDirection(8)
+		p.UpdateDirection(8, taken, pred)
+	}
+	if p.Accuracy() < 0.85 {
+		t.Errorf("gshare-backed Predictor accuracy %.3f", p.Accuracy())
+	}
+}

@@ -1,0 +1,72 @@
+package cache
+
+import "fmt"
+
+// MSHRFile tracks outstanding misses so that concurrent requests for the
+// same block merge into one fill from the next level. Waiters are opaque
+// request tokens owned by the memory system.
+type MSHRFile struct {
+	max     int
+	pending map[uint64][]int64 // block address -> waiting request tokens
+
+	// Statistics.
+	Allocations uint64
+	Merges      uint64
+	FullStalls  uint64
+}
+
+// NewMSHRFile returns a file with capacity max outstanding blocks.
+func NewMSHRFile(max int) *MSHRFile {
+	if max <= 0 {
+		max = 1
+	}
+	return &MSHRFile{max: max, pending: make(map[uint64][]int64, max)}
+}
+
+// Lookup reports whether block already has an outstanding miss.
+func (f *MSHRFile) Lookup(block uint64) bool {
+	_, ok := f.pending[block]
+	return ok
+}
+
+// Outstanding returns the number of blocks currently in flight.
+func (f *MSHRFile) Outstanding() int { return len(f.pending) }
+
+// Full reports whether a new block allocation would be refused.
+func (f *MSHRFile) Full() bool { return len(f.pending) >= f.max }
+
+// Add registers token as waiting on block. It returns true if this
+// allocated a new entry (the caller must then issue the fill request) and
+// false if the miss merged into an existing entry. If the file is full and
+// block has no entry, ok is false and the caller must retry later.
+func (f *MSHRFile) Add(block uint64, token int64) (allocated, ok bool) {
+	if waiters, exists := f.pending[block]; exists {
+		f.pending[block] = append(waiters, token)
+		f.Merges++
+		return false, true
+	}
+	if len(f.pending) >= f.max {
+		f.FullStalls++
+		return false, false
+	}
+	f.pending[block] = []int64{token}
+	f.Allocations++
+	return true, true
+}
+
+// Complete removes block's entry and returns the waiting tokens in arrival
+// order. Completing an absent block is a simulator bug and panics.
+func (f *MSHRFile) Complete(block uint64) []int64 {
+	waiters, ok := f.pending[block]
+	if !ok {
+		panic(fmt.Sprintf("cache: MSHR complete for absent block %#x", block))
+	}
+	delete(f.pending, block)
+	return waiters
+}
+
+// Reset clears all entries and statistics.
+func (f *MSHRFile) Reset() {
+	f.pending = make(map[uint64][]int64, f.max)
+	f.Allocations, f.Merges, f.FullStalls = 0, 0, 0
+}

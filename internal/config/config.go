@@ -1,0 +1,134 @@
+// Package config names the processor configurations evaluated in the paper
+// (§4.3) and the two thread-unit scaling schemes used by its experiments:
+// the constant-total-capacity scaling of Table 3 (used for the §5.1
+// baseline study, Figure 8) and the constant-per-TU resources of §5.2
+// (used everywhere else).
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sta"
+)
+
+// Name identifies one of the paper's processor configurations.
+type Name string
+
+// The eight configurations of §4.3.
+const (
+	Orig     Name = "orig"       // baseline superthreaded processor
+	VC       Name = "vc"         // orig + victim cache
+	WP       Name = "wp"         // wrong-path load continuation
+	WTH      Name = "wth"        // wrong-thread execution
+	WTHWP    Name = "wth-wp"     // both wrong-execution modes
+	WTHWPVC  Name = "wth-wp-vc"  // both + victim cache
+	WTHWPWEC Name = "wth-wp-wec" // both + Wrong Execution Cache
+	NLP      Name = "nlp"        // next-line tagged prefetching
+)
+
+// Names lists all configurations in the paper's presentation order.
+func Names() []Name {
+	return []Name{Orig, VC, WP, WTH, WTHWP, WTHWPVC, WTHWPWEC, NLP}
+}
+
+// Apply mutates cfg to the named configuration. The side-buffer entry
+// count (WEC/VC/PB size) is taken from cfg.Mem.SideEntries, so callers can
+// sweep sizes (Figures 15 and 16) by setting it before Apply.
+func Apply(name Name, cfg *sta.Config) error {
+	cfg.WrongThreadExec = false
+	cfg.Core.WrongPathExec = false
+	cfg.Mem.Side = mem.SideNone
+	cfg.Mem.WrongFillsToL1 = false
+	cfg.Mem.NextLinePrefetch = false
+	switch name {
+	case Orig:
+	case VC:
+		cfg.Mem.Side = mem.SideVC
+	case WP:
+		cfg.Core.WrongPathExec = true
+		cfg.Mem.WrongFillsToL1 = true
+	case WTH:
+		cfg.WrongThreadExec = true
+		cfg.Mem.WrongFillsToL1 = true
+	case WTHWP:
+		cfg.Core.WrongPathExec = true
+		cfg.WrongThreadExec = true
+		cfg.Mem.WrongFillsToL1 = true
+	case WTHWPVC:
+		cfg.Core.WrongPathExec = true
+		cfg.WrongThreadExec = true
+		cfg.Mem.WrongFillsToL1 = true
+		cfg.Mem.Side = mem.SideVC
+	case WTHWPWEC:
+		cfg.Core.WrongPathExec = true
+		cfg.WrongThreadExec = true
+		cfg.Mem.Side = mem.SideWEC
+	case NLP:
+		cfg.Mem.Side = mem.SidePB
+		cfg.Mem.NextLinePrefetch = true
+	default:
+		return fmt.Errorf("config: unknown configuration %q", name)
+	}
+	return nil
+}
+
+// Main returns the §5.2 machine with the given thread-unit count: every TU
+// is an 8-issue out-of-order core with a private 8 KB direct-mapped L1 data
+// cache; total cache capacity grows with the TU count.
+func Main(tus int) sta.Config {
+	cfg := sta.DefaultConfig()
+	cfg.NumTUs = tus
+	return cfg
+}
+
+// Table3 lists the paper's constant-total-capacity scaling: TU count,
+// per-TU issue width, reorder buffer, FU counts, and L1 data size chosen so
+// every row can exploit at most 16 instructions per cycle and 32 KB of
+// total L1 data cache.
+type Table3 struct {
+	TUs       int
+	Issue     int
+	ROB       int
+	IntALU    int
+	IntMul    int
+	FPALU     int
+	FPMul     int
+	L1DKBytes int
+}
+
+// Table3Rows returns the five machine shapes of Table 3 plus the
+// single-thread single-issue reference machine in row 0.
+func Table3Rows() []Table3 {
+	return []Table3{
+		{TUs: 1, Issue: 1, ROB: 8, IntALU: 1, IntMul: 1, FPALU: 1, FPMul: 1, L1DKBytes: 2},
+		{TUs: 1, Issue: 16, ROB: 128, IntALU: 16, IntMul: 8, FPALU: 16, FPMul: 8, L1DKBytes: 32},
+		{TUs: 2, Issue: 8, ROB: 64, IntALU: 8, IntMul: 4, FPALU: 8, FPMul: 4, L1DKBytes: 16},
+		{TUs: 4, Issue: 4, ROB: 32, IntALU: 4, IntMul: 2, FPALU: 4, FPMul: 2, L1DKBytes: 8},
+		{TUs: 8, Issue: 2, ROB: 16, IntALU: 2, IntMul: 1, FPALU: 2, FPMul: 1, L1DKBytes: 4},
+		{TUs: 16, Issue: 1, ROB: 8, IntALU: 1, IntMul: 1, FPALU: 1, FPMul: 1, L1DKBytes: 2},
+	}
+}
+
+// Label names a Table 3 row like the paper's Figure 8 legend.
+func (t Table3) Label() string {
+	return fmt.Sprintf("%dTUx%d", t.TUs, t.Issue)
+}
+
+// Machine builds the sta configuration for a Table 3 row.
+func (t Table3) Machine() sta.Config {
+	cfg := sta.DefaultConfig()
+	cfg.NumTUs = t.TUs
+	cc := core.DefaultConfig()
+	cc.IssueWidth = t.Issue
+	cc.ROBSize = t.ROB
+	cc.LSQSize = t.ROB
+	cc.IntALU = t.IntALU
+	cc.IntMul = t.IntMul
+	cc.FPAdd = t.FPALU
+	cc.FPMul = t.FPMul
+	cfg.Core = cc
+	cfg.Mem.L1DSize = t.L1DKBytes * 1024
+	return cfg
+}

@@ -1,0 +1,100 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestApplyAllNamesValid(t *testing.T) {
+	for _, n := range Names() {
+		cfg := Main(8)
+		if err := Apply(n, &cfg); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: invalid machine: %v", n, err)
+		}
+	}
+	cfg := Main(8)
+	if err := Apply("bogus", &cfg); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	check := func(n Name, wth, wp bool, side mem.SideBufKind, pollute, nlp bool) {
+		t.Helper()
+		cfg := Main(8)
+		if err := Apply(n, &cfg); err != nil {
+			t.Fatal(err)
+		}
+		if cfg.WrongThreadExec != wth || cfg.Core.WrongPathExec != wp ||
+			cfg.Mem.Side != side || cfg.Mem.WrongFillsToL1 != pollute ||
+			cfg.Mem.NextLinePrefetch != nlp {
+			t.Errorf("%s: got wth=%v wp=%v side=%v pollute=%v nlp=%v",
+				n, cfg.WrongThreadExec, cfg.Core.WrongPathExec, cfg.Mem.Side,
+				cfg.Mem.WrongFillsToL1, cfg.Mem.NextLinePrefetch)
+		}
+	}
+	check(Orig, false, false, mem.SideNone, false, false)
+	check(VC, false, false, mem.SideVC, false, false)
+	check(WP, false, true, mem.SideNone, true, false)
+	check(WTH, true, false, mem.SideNone, true, false)
+	check(WTHWP, true, true, mem.SideNone, true, false)
+	check(WTHWPVC, true, true, mem.SideVC, true, false)
+	check(WTHWPWEC, true, true, mem.SideWEC, false, false)
+	check(NLP, false, false, mem.SidePB, false, true)
+}
+
+func TestApplyResetsPriorState(t *testing.T) {
+	cfg := Main(8)
+	if err := Apply(WTHWPWEC, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(Orig, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WrongThreadExec || cfg.Core.WrongPathExec || cfg.Mem.Side != mem.SideNone {
+		t.Error("Apply(Orig) did not clear previous configuration")
+	}
+}
+
+func TestTable3Invariants(t *testing.T) {
+	rows := Table3Rows()
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows (reference + 5 shapes), got %d", len(rows))
+	}
+	// Reference machine: 1 TU, single issue.
+	if rows[0].TUs != 1 || rows[0].Issue != 1 {
+		t.Error("row 0 must be the 1TUx1 reference")
+	}
+	for _, row := range rows[1:] {
+		if row.TUs*row.Issue != 16 {
+			t.Errorf("%s: total issue capacity %d, want 16", row.Label(), row.TUs*row.Issue)
+		}
+		if row.TUs*row.L1DKBytes != 32 {
+			t.Errorf("%s: total L1D %dKB, want 32", row.Label(), row.TUs*row.L1DKBytes)
+		}
+		cfg := row.Machine()
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", row.Label(), err)
+		}
+		if cfg.Core.IssueWidth != row.Issue || cfg.Mem.L1DSize != row.L1DKBytes*1024 {
+			t.Errorf("%s: machine does not reflect row", row.Label())
+		}
+	}
+}
+
+func TestMainScaling(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		cfg := Main(n)
+		if cfg.NumTUs != n {
+			t.Errorf("Main(%d).NumTUs = %d", n, cfg.NumTUs)
+		}
+		// §5.2: per-TU resources stay constant.
+		if cfg.Core.IssueWidth != 8 || cfg.Mem.L1DSize != 8*1024 {
+			t.Errorf("Main(%d) changed per-TU resources", n)
+		}
+	}
+}

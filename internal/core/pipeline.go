@@ -1,0 +1,593 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// TraceBranches, when positive, prints that many committed branches (debug).
+var TraceBranches int
+
+// RedirectPenalty is the fixed front-end refill bubble after a branch
+// misprediction recovery, on top of the natural drain/refill latency.
+const RedirectPenalty = 3
+
+// Step advances the pipeline one cycle. Order within the cycle: commit,
+// execute completion (and branch resolution), issue, wrong-path load queue
+// drain, fetch/dispatch. Returns false when the core is idle.
+func (c *Core) Step(cycle uint64) bool {
+	if !c.running && c.robCount == 0 && len(c.wrongQ) == 0 {
+		return false
+	}
+	for i := range c.fuUsed {
+		c.fuUsed[i] = 0
+	}
+	c.commit(cycle)
+	c.complete(cycle)
+	c.issue(cycle)
+	c.drainWrongQ(cycle)
+	c.fetch(cycle)
+	return true
+}
+
+func (c *Core) slotAt(agePos int) int {
+	return (c.robHead + agePos) % len(c.rob)
+}
+
+// commit retires up to IssueWidth done entries from the ROB head, applying
+// architectural effects in program order.
+func (c *Core) commit(cycle uint64) {
+	for n := 0; n < c.cfg.IssueWidth && c.robCount > 0; n++ {
+		idx := c.robHead
+		e := &c.rob[idx]
+		if e.state != stDone {
+			return
+		}
+		in := e.inst
+		// Architectural register writeback.
+		if in.HasDest() {
+			if in.Op.FPDest() {
+				c.FPRegs[in.Rd] = e.fval
+				if c.renameFP[in.Rd] == idx {
+					c.renameFP[in.Rd] = -1
+				}
+			} else {
+				c.IntRegs[in.Rd] = e.ival
+				if c.renameInt[in.Rd] == idx {
+					c.renameInt[in.Rd] = -1
+				}
+			}
+		}
+		if c.wrongMode {
+			c.Stats.WrongCommits++
+		} else {
+			c.Stats.Commits++
+		}
+		switch in.Op {
+		case isa.LD, isa.FLD:
+			c.Stats.Loads++
+			c.popLSQ(idx)
+		case isa.ST, isa.FST:
+			c.Stats.Stores++
+			c.dmem.CommitStore(cycle, e.addr, e.storeBits, false)
+			c.popLSQ(idx)
+		case isa.TST:
+			c.Stats.Stores++
+			c.dmem.CommitStore(cycle, e.addr, e.storeBits, true)
+			c.popLSQ(idx)
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+			c.Stats.Branches++
+			if TraceBranches > 0 {
+				TraceBranches--
+				fmt.Printf("commit br pc=%d pred=%v taken=%v mispred=%v\n", e.pc, e.predTaken, e.taken, e.mispredict)
+			}
+			// Train the direction predictor at commit so wrong-path
+			// branches never pollute it; count only committed mispredicts.
+			c.bp.UpdateDirection(e.pc, e.taken, e.predTaken)
+			if e.mispredict {
+				c.Stats.Mispredicts++
+			}
+		case isa.BEGIN:
+			c.env.OnBegin(cycle, in.Imm)
+		case isa.FORK:
+			c.env.OnFork(cycle, int(in.Imm))
+		case isa.TSAGD:
+			c.env.OnTsagd(cycle)
+		case isa.TSA:
+			c.env.OnTsa(cycle, uint64(e.ival))
+		case isa.THEND:
+			if c.cfg.SeqLoops {
+				c.env.OnThend(cycle)
+				break
+			}
+			c.retireROBHead()
+			c.running = false
+			c.squashAll()
+			c.env.OnThend(cycle)
+			return
+		case isa.ABORT:
+			if c.cfg.SeqLoops {
+				c.env.OnAbort(cycle, e.pc+1)
+				break
+			}
+			c.retireROBHead()
+			c.running = false
+			c.squashAll()
+			c.env.OnAbort(cycle, e.pc+1)
+			return
+		case isa.HALT:
+			c.retireROBHead()
+			c.running = false
+			c.squashAll()
+			c.env.OnHalt(cycle)
+			return
+		}
+		c.retireROBHead()
+	}
+}
+
+func (c *Core) retireROBHead() {
+	c.robHead = (c.robHead + 1) % len(c.rob)
+	c.robCount--
+}
+
+func (c *Core) popLSQ(idx int) {
+	for i, s := range c.lsq {
+		if s == idx {
+			c.lsq = append(c.lsq[:i], c.lsq[i+1:]...)
+			return
+		}
+	}
+}
+
+// squashAll discards every in-flight entry (thread end or kill). The wrong
+// queue is preserved: already-extracted wrong loads keep prefetching.
+func (c *Core) squashAll() {
+	c.Stats.SquashedInsts += uint64(c.robCount)
+	c.robHead, c.robTail, c.robCount = 0, 0, 0
+	for i := range c.renameInt {
+		c.renameInt[i] = -1
+	}
+	for i := range c.renameFP {
+		c.renameFP[i] = -1
+	}
+	c.lsq = c.lsq[:0]
+	c.fetchStopped = true
+}
+
+// complete marks finished executions done, broadcasts results to waiting
+// consumers, and resolves branches (possibly triggering recovery).
+func (c *Core) complete(cycle uint64) {
+	for p := 0; p < c.robCount; p++ {
+		idx := c.slotAt(p)
+		e := &c.rob[idx]
+		if e.state == stExecuting && e.req != nil && e.req.Done && e.req.DoneCycle <= cycle {
+			e.state = stDone
+			c.broadcast(idx)
+			continue
+		}
+		if e.state == stExecuting && e.req == nil && e.doneAt <= cycle {
+			e.state = stDone
+			c.broadcast(idx)
+			if e.inst.Op.IsBranch() || e.inst.Op == isa.JR {
+				if c.resolveControl(cycle, idx, p) {
+					return // recovery squashed everything younger
+				}
+			}
+		}
+	}
+}
+
+// broadcast forwards a completed entry's result to consumers waiting on it.
+func (c *Core) broadcast(idx int) {
+	e := &c.rob[idx]
+	for p := 0; p < c.robCount; p++ {
+		k := c.slotAt(p)
+		if k == idx {
+			continue
+		}
+		w := &c.rob[k]
+		if w.state != stDispatched {
+			continue
+		}
+		if w.use1 && !w.src1.ready && w.src1.rob == idx {
+			w.src1.ready = true
+			w.src1.ival = e.ival
+			w.src1.fval = e.fval
+		}
+		if w.use2 && !w.src2.ready && w.src2.rob == idx {
+			w.src2.ready = true
+			w.src2.ival = e.ival
+			w.src2.fval = e.fval
+		}
+	}
+}
+
+// resolveControl checks a completed branch or indirect jump against its
+// prediction, training the predictor and recovering on a mismatch. Returns
+// true when recovery squashed younger entries.
+func (c *Core) resolveControl(cycle uint64, idx, agePos int) bool {
+	e := &c.rob[idx]
+	var taken bool
+	var target int
+	if e.inst.Op == isa.JR {
+		taken = true
+		target = int(e.src1.ival)
+	} else {
+		taken = isa.BranchTaken(e.inst, e.src1.ival, e.src2.ival)
+		target = int(e.inst.Imm)
+	}
+	e.taken = taken
+	actualNext := e.pc + 1
+	if taken {
+		actualNext = target
+	}
+	predNext := e.pc + 1
+	if e.predTaken {
+		predNext = e.predTarget
+	}
+	if actualNext == predNext {
+		return false
+	}
+	e.mispredict = true
+	if e.inst.Op == isa.JR {
+		// Indirect-jump mispredicts are rare; count them at resolution.
+		c.Stats.Mispredicts++
+	}
+	c.recover(cycle, agePos, actualNext)
+	return true
+}
+
+// recover squashes all entries younger than the entry at agePos, extracts
+// ready wrong-path loads into the wrong queue (wp configurations), rebuilds
+// the rename maps, and redirects fetch.
+func (c *Core) recover(cycle uint64, agePos, nextPC int) {
+	for p := agePos + 1; p < c.robCount; p++ {
+		idx := c.slotAt(p)
+		e := &c.rob[idx]
+		c.Stats.SquashedInsts++
+		if c.cfg.WrongPathExec && e.inst.Op.IsLoad() && !e.memIssued {
+			// Compute the effective address if its operand is ready: these
+			// are the "ready" wrong-path loads of Figure 3 that continue to
+			// memory; address-unknown loads squash outright.
+			if !e.addrKnown && e.src1.ready {
+				e.addr = isa.EffAddr(e.inst, e.src1.ival)
+				e.addrKnown = true
+			}
+			if e.addrKnown && len(c.wrongQ) < c.cfg.LSQSize {
+				c.wrongQ = append(c.wrongQ, e.addr)
+			}
+		}
+	}
+	// Drop squashed entries.
+	newCount := agePos + 1
+	c.robTail = c.slotAt(newCount)
+	// Filter the LSQ: keep only surviving slots.
+	kept := c.lsq[:0]
+	for _, s := range c.lsq {
+		pos := (s - c.robHead + len(c.rob)) % len(c.rob)
+		if pos < newCount {
+			kept = append(kept, s)
+		}
+	}
+	c.lsq = kept
+	c.robCount = newCount
+	// Rebuild rename maps from the surviving entries, oldest to youngest.
+	for i := range c.renameInt {
+		c.renameInt[i] = -1
+	}
+	for i := range c.renameFP {
+		c.renameFP[i] = -1
+	}
+	for p := 0; p < c.robCount; p++ {
+		idx := c.slotAt(p)
+		e := &c.rob[idx]
+		if e.inst.HasDest() {
+			if e.inst.Op.FPDest() {
+				c.renameFP[e.inst.Rd] = idx
+			} else {
+				c.renameInt[e.inst.Rd] = idx
+			}
+		}
+	}
+	c.fetchPC = nextPC
+	c.fetchStopped = false
+	c.redirectStall = RedirectPenalty
+}
+
+// issue scans the ROB in age order and starts execution of ready entries,
+// bounded by issue width and functional-unit availability.
+func (c *Core) issue(cycle uint64) {
+	issued := 0
+	for p := 0; p < c.robCount && issued < c.cfg.IssueWidth; p++ {
+		idx := c.slotAt(p)
+		e := &c.rob[idx]
+		if e.state != stDispatched {
+			continue
+		}
+		if (e.use1 && !e.src1.ready) || (e.use2 && !e.src2.ready) {
+			continue
+		}
+		in := e.inst
+		switch {
+		case in.Op.IsLoad():
+			if c.issueLoad(cycle, idx, p) {
+				issued++
+			}
+		case in.Op.IsStore():
+			// Stores compute address and data; the cache access happens at
+			// commit (sequential mode) or write-back drain (parallel mode).
+			e.addr = isa.EffAddr(in, e.src1.ival)
+			e.addrKnown = true
+			if in.Op == isa.FST {
+				e.storeBits = int64(math.Float64bits(e.src2.fval))
+			} else {
+				e.storeBits = e.src2.ival
+			}
+			e.valKnown = true
+			e.state = stExecuting
+			e.doneAt = cycle + 1
+			issued++
+		default:
+			fu := in.Op.FU()
+			if !c.takeFU(fu) {
+				continue
+			}
+			c.execALU(cycle, idx)
+			issued++
+		}
+	}
+}
+
+func (c *Core) takeFU(fu isa.FUClass) bool {
+	var limit int
+	switch fu {
+	case isa.FUIntALU:
+		limit = c.cfg.IntALU
+	case isa.FUIntMul:
+		limit = c.cfg.IntMul
+	case isa.FUFPAdd:
+		limit = c.cfg.FPAdd
+	case isa.FUFPMul:
+		limit = c.cfg.FPMul
+	default:
+		return true // markers need no FU
+	}
+	if c.fuUsed[fu] >= limit {
+		return false
+	}
+	c.fuUsed[fu]++
+	return true
+}
+
+// execALU computes a non-memory result, visible after the op latency.
+func (c *Core) execALU(cycle uint64, idx int) {
+	e := &c.rob[idx]
+	in := e.inst
+	switch in.Op {
+	case isa.JAL:
+		e.ival = int64(e.pc + 1)
+	case isa.JMP, isa.NOP, isa.HALT, isa.BEGIN, isa.FORK, isa.TSAGD,
+		isa.THEND, isa.ABORT:
+		// Markers and unconditional jumps carry no data result.
+	default:
+		e.ival, e.fval = isa.Eval(in, e.src1.ival, e.src2.ival, e.src1.fval, e.src2.fval)
+	}
+	e.state = stExecuting
+	e.doneAt = cycle + uint64(in.Op.Latency())
+}
+
+// issueLoad attempts to start a load: memory ordering against older stores,
+// store-to-load forwarding, then the DMem (memory buffer + caches).
+func (c *Core) issueLoad(cycle uint64, idx, agePos int) bool {
+	e := &c.rob[idx]
+	if !e.addrKnown {
+		e.addr = isa.EffAddr(e.inst, e.src1.ival)
+		e.addrKnown = true
+	}
+	// Conservative disambiguation: every older store must have a known
+	// address; the nearest older same-address store forwards its data.
+	var fwd *robEntry
+	for _, s := range c.lsq {
+		if s == idx {
+			break
+		}
+		se := &c.rob[s]
+		if !se.inst.Op.IsStore() {
+			continue
+		}
+		if !se.addrKnown {
+			return false // wait: unresolved older store address
+		}
+		if se.addr == e.addr {
+			fwd = se
+		}
+	}
+	if fwd != nil {
+		if !fwd.valKnown {
+			return false // data not ready yet
+		}
+		c.finishLoad(e, fwd.storeBits, cycle+1)
+		e.memIssued = true
+		return true
+	}
+	if !c.dmem.LoadsAllowed() {
+		return false
+	}
+	res := c.dmem.TryLoad(cycle, e.addr, c.wrongMode)
+	switch res.Status {
+	case LoadStall, LoadNoPort:
+		return false
+	case LoadForwarded:
+		c.finishLoad(e, res.Value, cycle+1)
+		e.memIssued = true
+		return true
+	default: // LoadIssued
+		e.req = res.Req
+		c.finishLoadValue(e, res.Value)
+		e.state = stExecuting
+		e.memIssued = true
+		return true
+	}
+}
+
+func (c *Core) finishLoad(e *robEntry, bits int64, doneAt uint64) {
+	c.finishLoadValue(e, bits)
+	e.state = stExecuting
+	e.doneAt = doneAt
+}
+
+func (c *Core) finishLoadValue(e *robEntry, bits int64) {
+	if e.inst.Op == isa.FLD {
+		e.fval = math.Float64frombits(uint64(bits))
+	} else {
+		e.ival = bits
+	}
+}
+
+// drainWrongQ keeps issuing extracted wrong-path loads to the memory system
+// as ports allow; correct-path demand accesses already had priority this
+// cycle (issue runs first).
+func (c *Core) drainWrongQ(cycle uint64) {
+	for len(c.wrongQ) > 0 {
+		if !c.dmem.WrongLoad(cycle, c.wrongQ[0]) {
+			return
+		}
+		c.Stats.WrongPathLoadsIssued++
+		c.wrongQ = c.wrongQ[1:]
+	}
+}
+
+// fetch brings new instructions into the ROB: up to IssueWidth per cycle,
+// stopping at thread-ending instructions, I-cache misses, or full ROB/LSQ.
+func (c *Core) fetch(cycle uint64) {
+	if !c.running || c.fetchStopped {
+		return
+	}
+	if c.redirectStall > 0 {
+		c.redirectStall--
+		return
+	}
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if c.robCount >= len(c.rob) {
+			return
+		}
+		in := c.prog.At(c.fetchPC)
+		if in.Op.IsMem() && len(c.lsq) >= c.cfg.LSQSize {
+			return
+		}
+		if !c.imem.FetchReady(cycle, c.fetchPC) {
+			c.Stats.FetchStallICache++
+			return
+		}
+		c.dispatch(cycle, in)
+		if in.Op == isa.HALT {
+			c.fetchStopped = true
+			return
+		}
+		if !c.cfg.SeqLoops && (in.Op == isa.THEND || in.Op == isa.ABORT) {
+			// ABORT transfers control out of the loop body; the thread
+			// resumes (or dies) under sta control after commit.
+			c.fetchStopped = true
+			return
+		}
+	}
+}
+
+// dispatch decodes one instruction into the ROB tail, reading or renaming
+// its operands and predicting control flow.
+func (c *Core) dispatch(cycle uint64, in isa.Inst) {
+	idx := c.robTail
+	c.robTail = (c.robTail + 1) % len(c.rob)
+	c.robCount++
+	e := &c.rob[idx]
+	*e = robEntry{inst: in, pc: c.fetchPC, state: stDispatched}
+
+	r1, r2, use1, use2, fp1, fp2 := in.SrcRegs()
+	e.use1, e.use2 = use1, use2
+	if use1 {
+		e.src1 = c.readOperand(r1, fp1)
+	}
+	if use2 {
+		e.src2 = c.readOperand(r2, fp2)
+	}
+
+	// Markers with no execution latency complete immediately at dispatch+1.
+	switch in.Op {
+	case isa.NOP, isa.HALT, isa.BEGIN, isa.FORK, isa.TSAGD, isa.THEND, isa.ABORT:
+		e.state = stExecuting
+		e.doneAt = cycle + 1
+	}
+
+	if in.Op.IsMem() {
+		c.lsq = append(c.lsq, idx)
+	}
+
+	// Rename the destination.
+	if in.HasDest() {
+		if in.Op.FPDest() {
+			c.renameFP[in.Rd] = idx
+		} else {
+			c.renameInt[in.Rd] = idx
+		}
+	}
+
+	// Control flow prediction.
+	next := c.fetchPC + 1
+	switch {
+	case in.Op == isa.FORK && c.cfg.SeqLoops:
+		c.seqForkTarget = int(in.Imm)
+	case in.Op == isa.THEND && c.cfg.SeqLoops:
+		// Sequential semantics: the next iteration begins at the fork
+		// target (matches the functional interpreter).
+		next = c.seqForkTarget
+	case in.Op == isa.JMP:
+		next = int(in.Imm)
+	case in.Op == isa.JAL:
+		c.bp.PushRAS(c.fetchPC + 1)
+		next = int(in.Imm)
+	case in.Op == isa.JR:
+		if tgt, ok := c.bp.PopRAS(); ok {
+			e.predTaken = true
+			e.predTarget = tgt
+			next = tgt
+		} else {
+			e.predTaken = false
+			e.predTarget = c.fetchPC + 1
+		}
+	case in.Op.IsBranch():
+		e.predTaken = c.bp.PredictDirection(c.fetchPC)
+		e.predTarget = int(in.Imm)
+		if e.predTaken {
+			next = e.predTarget
+		}
+	}
+	c.fetchPC = next
+}
+
+// readOperand resolves a source register to a value or a producer slot.
+func (c *Core) readOperand(r uint8, fp bool) operand {
+	if fp {
+		if p := c.renameFP[r]; p >= 0 {
+			pe := &c.rob[p]
+			if pe.state == stDone {
+				return operand{ready: true, ival: pe.ival, fval: pe.fval}
+			}
+			return operand{rob: p}
+		}
+		return operand{ready: true, fval: c.FPRegs[r]}
+	}
+	if r == 0 {
+		return operand{ready: true}
+	}
+	if p := c.renameInt[r]; p >= 0 {
+		pe := &c.rob[p]
+		if pe.state == stDone {
+			return operand{ready: true, ival: pe.ival, fval: pe.fval}
+		}
+		return operand{rob: p}
+	}
+	return operand{ready: true, ival: c.IntRegs[r]}
+}

@@ -1,0 +1,234 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment maps onto the per-experiment index in
+// DESIGN.md and prints the same rows/series the paper reports. Results are
+// memoized per (benchmark, machine configuration), and batches run on a
+// worker pool sized to the host.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/sta"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Runner executes simulations with memoization and a worker pool.
+type Runner struct {
+	// Scale multiplies every benchmark's window count (1 = quick default).
+	Scale int
+	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
+	Workers int
+	// Verbose, when non-nil, receives one line per completed simulation.
+	Verbose io.Writer
+
+	mu      sync.Mutex
+	results map[string]*sta.Result
+	progs   map[string]*isa.Program
+	refs    map[string]*interp.Result
+}
+
+// NewRunner returns a Runner at the given workload scale.
+func NewRunner(scale int) *Runner {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Runner{
+		Scale:   scale,
+		results: make(map[string]*sta.Result),
+		progs:   make(map[string]*isa.Program),
+		refs:    make(map[string]*interp.Result),
+	}
+}
+
+// Benches returns the benchmark list in the paper's order.
+func Benches() []*workload.Workload { return workload.All() }
+
+// program builds (and caches) a benchmark binary.
+func (r *Runner) program(bench string) (*isa.Program, error) {
+	r.mu.Lock()
+	p, ok := r.progs[bench]
+	r.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	w, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	p, err = w.Build(r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.progs[bench] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+// Reference runs (and caches) the functional interpreter for a benchmark.
+func (r *Runner) Reference(bench string) (*interp.Result, error) {
+	r.mu.Lock()
+	ref, ok := r.refs[bench]
+	r.mu.Unlock()
+	if ok {
+		return ref, nil
+	}
+	p, err := r.program(bench)
+	if err != nil {
+		return nil, err
+	}
+	ref, err = interp.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.refs[bench] = ref
+	r.mu.Unlock()
+	return ref, nil
+}
+
+type job struct {
+	bench string
+	cfg   sta.Config
+}
+
+func key(bench string, cfg sta.Config) string {
+	return fmt.Sprintf("%s|%+v", bench, cfg)
+}
+
+// Result runs one simulation (memoized) and validates the architectural
+// outcome against the functional reference.
+func (r *Runner) Result(bench string, cfg sta.Config) (*sta.Result, error) {
+	k := key(bench, cfg)
+	r.mu.Lock()
+	res, ok := r.results[k]
+	r.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	p, err := r.program(bench)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := r.Reference(bench)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sta.New(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err = m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", bench, err)
+	}
+	if res.MemCheck != ref.MemCheck {
+		return nil, fmt.Errorf("harness: %s: architectural mismatch: machine %#x, reference %#x (configuration changed results)",
+			bench, res.MemCheck, ref.MemCheck)
+	}
+	r.mu.Lock()
+	r.results[k] = res
+	r.mu.Unlock()
+	if r.Verbose != nil {
+		fmt.Fprintf(r.Verbose, "  done %-8s %d cycles\n", bench, res.Stats.Cycles)
+	}
+	return res, nil
+}
+
+// batch runs all jobs concurrently, memoizing results.
+func (r *Runner) batch(jobs []job) error {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobc := make(chan job)
+	errc := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobc {
+				if _, err := r.Result(j.bench, j.cfg); err != nil {
+					errc <- err
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobc <- j
+	}
+	close(jobc)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is one reproducible table or figure. Run returns the result
+// as a structured table; render it with Table.String (aligned text) or
+// Table.CSV.
+type Experiment struct {
+	ID    string // "table2", "fig8" ... "fig17", extensions
+	Title string
+	Run   func(r *Runner) (*stats.Table, error)
+}
+
+// RunTo executes the experiment and writes its rendered table to w.
+func (e Experiment) RunTo(r *Runner, w io.Writer) error {
+	t, err := e.Run(r)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, t.String())
+	return err
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table 1: program transformations modeled per kernel", Run: table1},
+		{ID: "table2", Title: "Table 2: dynamic instruction counts and fraction parallelized", Run: table2},
+		{ID: "table3", Title: "Table 3: per-TU resource scaling", Run: table3},
+		{ID: "fig8", Title: "Figure 8: TLP vs ILP in the parallelized portions", Run: fig8},
+		{ID: "fig9", Title: "Figure 9: whole-program speedup vs a single-TU baseline", Run: fig9},
+		{ID: "fig10", Title: "Figure 10: wth-wp-wec speedup over same-TU-count orig", Run: fig10},
+		{ID: "fig11", Title: "Figure 11: relative speedup of all configurations (8 TUs)", Run: fig11},
+		{ID: "fig12", Title: "Figure 12: sensitivity to L1 associativity", Run: fig12},
+		{ID: "fig13", Title: "Figure 13: sensitivity to L1 data cache size", Run: fig13},
+		{ID: "fig14", Title: "Figure 14: sensitivity to L2 cache size", Run: fig14},
+		{ID: "fig15", Title: "Figure 15: WEC size versus victim cache size", Run: fig15},
+		{ID: "fig16", Title: "Figure 16: WEC versus next-line prefetch buffer size", Run: fig16},
+		{ID: "fig17", Title: "Figure 17: L1 traffic increase and miss reduction", Run: fig17},
+		{ID: "ablate", Title: "Ablation: the WEC's three roles in isolation (extension)", Run: ablation},
+		{ID: "ext-latency", Title: "Extension (paper §7): memory-latency sensitivity of the WEC", Run: extLatency},
+		{ID: "ext-block", Title: "Extension (paper §7): L1 block-size sensitivity of the WEC", Run: extBlockSize},
+		{ID: "ext-bpred", Title: "Extension (paper §7): branch-prediction accuracy vs WEC benefit", Run: extBpred},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}

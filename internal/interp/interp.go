@@ -1,0 +1,134 @@
+// Package interp provides a functional (untimed) reference interpreter for
+// the simulator ISA, including sequential semantics for the superthreaded
+// thread-pipelining primitives. Every timing configuration of the cycle
+// simulator must produce the same architectural result as this interpreter;
+// the integration tests enforce that invariant, which is what guarantees
+// wrong-path and wrong-thread execution change only timing, never results.
+//
+// Sequential semantics of the STA primitives:
+//
+//	BEGIN  - enters a parallel region (no functional effect)
+//	FORK t - records t as the start of the next iteration
+//	TSAGD  - no effect
+//	TSA    - no effect (address announcement only)
+//	TST    - an ordinary store
+//	THEND  - jumps to the most recent FORK target (next iteration)
+//	ABORT  - ends the loop; falls through to the next instruction
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/memimg"
+)
+
+// Result is the architectural outcome of a program run.
+type Result struct {
+	IntRegs  [isa.NumIntRegs]int64
+	FPRegs   [isa.NumFPRegs]float64
+	Mem      *memimg.Image
+	Insts    int64 // dynamic instruction count
+	Loads    int64
+	Stores   int64
+	Branches int64
+	Taken    int64
+	ParInsts int64 // dynamic instructions inside parallel regions
+	Forks    int64
+	MemCheck uint64 // memory checksum
+}
+
+// MaxInsts guards against runaway programs.
+const MaxInsts = 2_000_000_000
+
+// Run executes p to completion and returns the architectural result.
+func Run(p *isa.Program) (*Result, error) {
+	return RunLimit(p, MaxInsts)
+}
+
+// RunLimit is Run with an explicit dynamic-instruction bound; exceeding it
+// returns an error (runaway detection).
+func RunLimit(p *isa.Program, maxInsts int64) (*Result, error) {
+	img := memimg.New()
+	asm.LoadData(p, img)
+	r := &Result{Mem: img}
+	var (
+		pc     = p.Entry
+		forkTo = -1
+		inPar  bool
+	)
+	for r.Insts < maxInsts {
+		in := p.At(pc)
+		r.Insts++
+		if inPar {
+			r.ParInsts++
+		}
+		next := pc + 1
+		switch {
+		case in.Op == isa.HALT:
+			r.MemCheck = img.Checksum()
+			return r, nil
+		case in.Op == isa.NOP:
+		case in.Op == isa.BEGIN:
+			inPar = true
+			forkTo = -1
+		case in.Op == isa.FORK:
+			forkTo = int(in.Imm)
+			r.Forks++
+		case in.Op == isa.TSAGD:
+		case in.Op == isa.TSA:
+		case in.Op == isa.THEND:
+			if forkTo < 0 {
+				return nil, fmt.Errorf("interp: THEND at pc %d with no preceding FORK", pc)
+			}
+			next = forkTo
+		case in.Op == isa.ABORT:
+			inPar = false
+			forkTo = -1
+		case in.Op == isa.LD:
+			r.Loads++
+			addr := isa.EffAddr(in, r.IntRegs[in.Rs1])
+			if in.Rd != 0 {
+				r.IntRegs[in.Rd] = img.ReadWord(addr)
+			}
+		case in.Op == isa.FLD:
+			r.Loads++
+			addr := isa.EffAddr(in, r.IntRegs[in.Rs1])
+			r.FPRegs[in.Rd] = img.ReadFloat(addr)
+		case in.Op == isa.ST || in.Op == isa.TST:
+			r.Stores++
+			addr := isa.EffAddr(in, r.IntRegs[in.Rs1])
+			img.WriteWord(addr, r.IntRegs[in.Rs2])
+		case in.Op == isa.FST:
+			r.Stores++
+			addr := isa.EffAddr(in, r.IntRegs[in.Rs1])
+			img.WriteFloat(addr, r.FPRegs[in.Rs2])
+		case in.Op.IsBranch():
+			r.Branches++
+			if isa.BranchTaken(in, r.IntRegs[in.Rs1], r.IntRegs[in.Rs2]) {
+				r.Taken++
+				next = int(in.Imm)
+			}
+		case in.Op == isa.JMP:
+			next = int(in.Imm)
+		case in.Op == isa.JAL:
+			if in.Rd != 0 {
+				r.IntRegs[in.Rd] = int64(pc + 1)
+			}
+			next = int(in.Imm)
+		case in.Op == isa.JR:
+			next = int(r.IntRegs[in.Rs1])
+		default:
+			iv, fv := isa.Eval(in, r.IntRegs[in.Rs1], r.IntRegs[in.Rs2],
+				r.FPRegs[in.Rs1], r.FPRegs[in.Rs2])
+			if in.Op.FPDest() {
+				r.FPRegs[in.Rd] = fv
+			} else if in.Rd != 0 {
+				r.IntRegs[in.Rd] = iv
+			}
+		}
+		pc = next
+	}
+	return nil, fmt.Errorf("interp: exceeded %d instructions (runaway program?)", maxInsts)
+}

@@ -1,0 +1,275 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func mustRun(t *testing.T, b *asm.Builder) *Result {
+	t.Helper()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestStraightLine(t *testing.T) {
+	b := asm.New()
+	b.Li(1, 5)
+	b.Li(2, 7)
+	b.Op3(isa.ADD, 3, 1, 2)
+	b.Op3(isa.MUL, 4, 3, 3)
+	b.Halt()
+	r := mustRun(t, b)
+	if r.IntRegs[3] != 12 || r.IntRegs[4] != 144 {
+		t.Errorf("regs = %d %d", r.IntRegs[3], r.IntRegs[4])
+	}
+	if r.Insts != 5 {
+		t.Errorf("inst count = %d", r.Insts)
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	b := asm.New()
+	b.Li(0, 42)
+	b.Op3(isa.ADD, 1, 0, 0)
+	b.Halt()
+	r := mustRun(t, b)
+	if r.IntRegs[0] != 0 || r.IntRegs[1] != 0 {
+		t.Errorf("r0 = %d, r1 = %d; r0 must stay 0", r.IntRegs[0], r.IntRegs[1])
+	}
+}
+
+func TestLoop(t *testing.T) {
+	b := asm.New()
+	b.Li(1, 0)  // i
+	b.Li(2, 10) // n
+	b.Li(3, 0)  // sum
+	b.Label("loop")
+	b.Op3(isa.ADD, 3, 3, 1)
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 2, "loop")
+	b.Halt()
+	r := mustRun(t, b)
+	if r.IntRegs[3] != 45 {
+		t.Errorf("sum = %d, want 45", r.IntRegs[3])
+	}
+	if r.Branches != 10 || r.Taken != 9 {
+		t.Errorf("branches=%d taken=%d", r.Branches, r.Taken)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	b := asm.New()
+	a := b.Alloc("buf", 64, 0)
+	b.InitWord(a, 100)
+	b.Li(1, int64(a))
+	b.Ld(2, 0, 1) // r2 = 100
+	b.OpI(isa.ADDI, 2, 2, 1)
+	b.St(2, 8, 1) // mem[a+8] = 101
+	b.Ld(3, 8, 1) // r3 = 101
+	b.Halt()
+	r := mustRun(t, b)
+	if r.IntRegs[3] != 101 {
+		t.Errorf("r3 = %d", r.IntRegs[3])
+	}
+	if r.Mem.ReadWord(a+8) != 101 {
+		t.Error("store not visible in memory")
+	}
+	if r.Loads != 2 || r.Stores != 1 {
+		t.Errorf("loads=%d stores=%d", r.Loads, r.Stores)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	b := asm.New()
+	a := b.Alloc("f", 16, 0)
+	b.InitFloat(a, 1.5)
+	b.Li(1, int64(a))
+	b.Fld(1, 0, 1)
+	b.Fli(2, 2.0)
+	b.Op3(isa.FMUL, 3, 1, 2)
+	b.Fst(3, 8, 1)
+	b.Halt()
+	r := mustRun(t, b)
+	if r.Mem.ReadFloat(a+8) != 3.0 {
+		t.Errorf("fp result = %g", r.Mem.ReadFloat(a+8))
+	}
+}
+
+func TestJalJr(t *testing.T) {
+	b := asm.New()
+	b.Jal(31, "func")
+	b.Li(2, 99) // executed after return
+	b.Halt()
+	b.Label("func")
+	b.Li(1, 7)
+	b.Jr(31)
+	r := mustRun(t, b)
+	if r.IntRegs[1] != 7 || r.IntRegs[2] != 99 {
+		t.Errorf("r1=%d r2=%d", r.IntRegs[1], r.IntRegs[2])
+	}
+}
+
+// TestParallelLoopSequentialSemantics checks the STA primitives: a counted
+// loop written in thread-pipelining style must compute the same result as
+// the plain sequential loop.
+func TestParallelLoopSequentialSemantics(t *testing.T) {
+	const n = 20
+	b := asm.New()
+	arr := b.Alloc("arr", 8*(n+8), 0)
+	for i := 0; i < n; i++ {
+		b.InitWord(arr+uint64(8*i), int64(i))
+	}
+	b.Li(1, 0)          // i
+	b.Li(2, n)          // n
+	b.Li(3, int64(arr)) // base
+	b.Begin(1, 2, 3)
+	b.Label("body")
+	// Continuation: i' = i+1, fork next iteration.
+	b.OpI(isa.ADDI, 4, 1, 1)
+	b.Emit(isa.Inst{Op: isa.FORK}) // patched below via named fork
+	b.Tsagd()
+	// Computation: arr[i] *= 2.
+	b.OpI(isa.SLLI, 5, 1, 3)
+	b.Op3(isa.ADD, 5, 5, 3)
+	b.Ld(6, 0, 5)
+	b.Op3(isa.ADD, 6, 6, 6)
+	b.St(6, 0, 5)
+	// Exit check (i+1 >= n means this was the last iteration).
+	b.Br(isa.BLT, 4, 2, "cont")
+	b.Abort()
+	b.Jmp("after")
+	b.Label("cont")
+	b.Op3(isa.ADD, 1, 4, 0) // i = i' for next iteration (sequential view)
+	b.Thend()
+	b.Label("after")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the raw FORK to target "body".
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.FORK {
+			p.Insts[i].Imm = p.Symbols["body"]
+		}
+	}
+	r, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := r.Mem.ReadWord(arr + uint64(8*i))
+		if got != int64(2*i) {
+			t.Errorf("arr[%d] = %d, want %d", i, got, 2*i)
+		}
+	}
+	if r.Forks != n {
+		t.Errorf("forks = %d, want %d", r.Forks, n)
+	}
+	if r.ParInsts == 0 || r.ParInsts >= r.Insts {
+		t.Errorf("parallel inst count %d of %d looks wrong", r.ParInsts, r.Insts)
+	}
+}
+
+func TestThendWithoutForkFails(t *testing.T) {
+	b := asm.New()
+	b.Thend()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p); err == nil {
+		t.Fatal("THEND without FORK accepted")
+	}
+}
+
+func TestRunawayDetected(t *testing.T) {
+	b := asm.New()
+	b.Label("spin")
+	b.Jmp("spin")
+	p, _ := b.Build()
+	if _, err := RunLimit(p, 10_000); err == nil {
+		t.Fatal("infinite loop not detected")
+	}
+}
+
+func TestInterpDeterminism(t *testing.T) {
+	b := asm.New()
+	a := b.Alloc("x", 256, 0)
+	b.Li(1, int64(a))
+	b.Li(2, 0)
+	b.Li(3, 20)
+	b.Label("loop")
+	b.Op3(isa.MUL, 4, 2, 2)
+	b.St(4, 0, 1)
+	b.OpI(isa.ADDI, 1, 1, 8)
+	b.OpI(isa.ADDI, 2, 2, 1)
+	b.Br(isa.BLT, 2, 3, "loop")
+	b.Halt()
+	p, _ := b.Build()
+	r1, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MemCheck != r2.MemCheck || r1.Insts != r2.Insts {
+		t.Error("interpreter not deterministic")
+	}
+}
+
+func TestAbortClearsForkTarget(t *testing.T) {
+	// After ABORT ends a loop, a THEND without a new FORK must fail: the
+	// recorded fork target does not leak across regions.
+	b := asm.New()
+	b.Label("body")
+	b.Fork("body")
+	b.Abort()
+	b.Thend() // invalid: no fork since the abort
+	p, _ := b.Build()
+	if _, err := Run(p); err == nil {
+		t.Fatal("stale fork target accepted after ABORT")
+	}
+}
+
+func TestTargetStoreActsAsStore(t *testing.T) {
+	b := asm.New()
+	a := b.Alloc("x", 8, 0)
+	b.Li(1, int64(a))
+	b.Li(2, 55)
+	b.Tst(2, 0, 1)
+	b.Halt()
+	r := mustRun(t, b)
+	if r.Mem.ReadWord(a) != 55 {
+		t.Error("TST did not store")
+	}
+}
+
+func TestChecksumStable(t *testing.T) {
+	build := func() *Result {
+		b := asm.New()
+		a := b.Alloc("x", 128, 0)
+		b.Li(1, int64(a))
+		for i := 0; i < 16; i++ {
+			b.Li(2, int64(i*i))
+			b.St(2, int64(8*i), 1)
+		}
+		b.Halt()
+		return mustRun(t, b)
+	}
+	r1, r2 := build(), build()
+	if r1.MemCheck != r2.MemCheck || r1.MemCheck == 0 {
+		t.Errorf("checksums: %#x vs %#x", r1.MemCheck, r2.MemCheck)
+	}
+}

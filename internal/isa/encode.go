@@ -1,0 +1,73 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InstBytes is the size of one encoded instruction: opcode, three register
+// fields, four bytes of padding, and a 64-bit immediate.
+const InstBytes = 16
+
+// Encode serializes the instruction into a fixed 16-byte little-endian form.
+func (in Inst) Encode() [InstBytes]byte {
+	var b [InstBytes]byte
+	b[0] = byte(in.Op)
+	b[1] = in.Rd
+	b[2] = in.Rs1
+	b[3] = in.Rs2
+	binary.LittleEndian.PutUint64(b[8:], uint64(in.Imm))
+	return b
+}
+
+// Decode parses a 16-byte encoded instruction. It fails on undefined
+// opcodes, register indices out of range, or nonzero padding.
+func Decode(b [InstBytes]byte) (Inst, error) {
+	op := Op(b[0])
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d", b[0])
+	}
+	if b[1] >= NumIntRegs || b[2] >= NumIntRegs || b[3] >= NumIntRegs {
+		return Inst{}, fmt.Errorf("isa: register index out of range in %v", b[:4])
+	}
+	for i := 4; i < 8; i++ {
+		if b[i] != 0 {
+			return Inst{}, fmt.Errorf("isa: nonzero padding byte %d", i)
+		}
+	}
+	return Inst{
+		Op:  op,
+		Rd:  b[1],
+		Rs1: b[2],
+		Rs2: b[3],
+		Imm: int64(binary.LittleEndian.Uint64(b[8:])),
+	}, nil
+}
+
+// EncodeProgram serializes all instructions of p into a byte stream.
+func EncodeProgram(p *Program) []byte {
+	out := make([]byte, 0, len(p.Insts)*InstBytes)
+	for _, in := range p.Insts {
+		eb := in.Encode()
+		out = append(out, eb[:]...)
+	}
+	return out
+}
+
+// DecodeProgram parses a byte stream produced by EncodeProgram.
+func DecodeProgram(raw []byte) ([]Inst, error) {
+	if len(raw)%InstBytes != 0 {
+		return nil, fmt.Errorf("isa: program length %d not a multiple of %d", len(raw), InstBytes)
+	}
+	insts := make([]Inst, 0, len(raw)/InstBytes)
+	var buf [InstBytes]byte
+	for off := 0; off < len(raw); off += InstBytes {
+		copy(buf[:], raw[off:off+InstBytes])
+		in, err := Decode(buf)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", off/InstBytes, err)
+		}
+		insts = append(insts, in)
+	}
+	return insts, nil
+}

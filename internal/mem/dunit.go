@@ -1,0 +1,346 @@
+package mem
+
+import (
+	"repro/internal/cache"
+)
+
+// DUnit is one thread unit's data-side memory port: the private L1 data
+// cache, the optional side buffer (victim cache, prefetch buffer, or WEC),
+// and the MSHRs tracking outstanding misses. Cores must check CanAccept
+// before calling Access in a given cycle; each access consumes one L1 port.
+type DUnit struct {
+	h    *Hierarchy
+	tu   int
+	cfg  Config
+	l1   *cache.Cache
+	side *cache.Cache // nil when cfg.Side == SideNone
+	mshr *cache.MSHRFile
+
+	portsUsed int
+	requests  map[int64]*Request // outstanding, keyed by token
+
+	// Statistics (correct-path demand unless stated otherwise).
+	Accesses    uint64 // correct-path demand accesses
+	Misses      uint64 // correct-path demand misses (both structures)
+	Traffic     uint64 // every processor access incl. wrong execution
+	WrongAcc    uint64 // wrong-execution accesses
+	SideHits    uint64 // correct-path L1 misses that hit the side buffer
+	SideInserts uint64
+	PrefIssued  uint64
+	PrefUseful  uint64 // correct demand touch of a prefetched block
+	WrongUseful uint64 // correct demand touch of a wrong-fetched block
+	UpdateRecv  uint64 // sequential-coherence updates applied
+}
+
+func newDUnit(h *Hierarchy, tu int, cfg Config) (*DUnit, error) {
+	l1, err := cache.New(cache.Params{
+		SizeBytes: cfg.L1DSize, Assoc: cfg.L1DAssoc, BlockBytes: cfg.L1DBlock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &DUnit{
+		h:        h,
+		tu:       tu,
+		cfg:      cfg,
+		l1:       l1,
+		mshr:     cache.NewMSHRFile(cfg.L1DMSHRs),
+		requests: make(map[int64]*Request),
+	}
+	if cfg.Side != SideNone {
+		d.side, err = cache.NewFullyAssoc(cfg.SideEntries, cfg.L1DBlock)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// L1 exposes the L1 tag array for tests and invariant checks.
+func (d *DUnit) L1() *cache.Cache { return d.l1 }
+
+// Side exposes the side buffer tag array (nil if none).
+func (d *DUnit) Side() *cache.Cache { return d.side }
+
+// CanAccept reports whether another access fits in this cycle's ports.
+func (d *DUnit) CanAccept() bool { return d.portsUsed < d.cfg.L1DPorts }
+
+// MSHRFull reports whether a new miss could not be tracked right now.
+func (d *DUnit) MSHRFull() bool { return d.mshr.Full() }
+
+func (d *DUnit) beginCycle() { d.portsUsed = 0 }
+
+// Access issues a data access at the given cycle and returns the tracking
+// request. The caller must have checked CanAccept. Completion is indicated
+// by req.Done with the value available at req.DoneCycle.
+//
+// The routing logic implements Figure 6 of the paper; see the package
+// comment for a summary.
+func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, wrong bool) *Request {
+	addr &= PhysMask
+	d.portsUsed++
+	d.Traffic++
+	block := d.l1.BlockAddr(addr)
+	req := &Request{ID: d.h.nextID, Addr: addr, Kind: kind, Wrong: wrong}
+	d.h.nextID++
+
+	if wrong {
+		d.WrongAcc++
+		return d.accessWrong(cycle, block, req)
+	}
+
+	d.Accesses++
+	flags, hit := d.l1.Access(addr, kind == Store)
+	if hit {
+		d.notePrefetchProvenance(flags)
+		// Tagged next-line prefetch: first demand hit to a prefetched block
+		// triggers a prefetch of the next line (nlp configuration).
+		if d.cfg.NextLinePrefetch && flags&cache.FlagPrefetch != 0 {
+			d.issuePrefetch(cycle, d.l1.NextBlock(addr))
+		}
+		d.complete(req, cycle+uint64(d.cfg.L1HitLat))
+		return req
+	}
+
+	// L1 miss: the side buffer is probed in parallel.
+	if d.side != nil {
+		if sflags, shit := d.side.Access(block, false); shit {
+			d.SideHits++
+			d.notePrefetchProvenance(sflags)
+			if sflags&cache.FlagWrong != 0 {
+				d.WrongUseful++
+			}
+			// Swap: the block moves into L1; the L1 victim moves into the
+			// side buffer (WEC and VC behaviour; the PB promotes without
+			// keeping a victim, matching a conventional prefetch buffer).
+			d.side.Remove(block)
+			victim := d.l1.Insert(block, 0, kind == Store)
+			if victim.Valid {
+				if d.sideTakesVictims() {
+					d.sideInsert(victim.Addr, victim.Flags, victim.Dirty)
+				} else if victim.Dirty {
+					d.h.writeback(victim.Addr)
+				}
+			}
+			// A correct-path hit on a wrong-fetched block in the WEC
+			// initiates a next-line prefetch whose result goes to the WEC;
+			// likewise the first hit to a tagged-prefetched block in the PB.
+			if d.cfg.Side == SideWEC && !d.cfg.WECNoNextLine && sflags&cache.FlagWrong != 0 {
+				d.issuePrefetch(cycle, d.l1.NextBlock(addr))
+			} else if d.cfg.NextLinePrefetch && sflags&cache.FlagPrefetch != 0 {
+				d.issuePrefetch(cycle, d.l1.NextBlock(addr))
+			}
+			d.complete(req, cycle+uint64(d.cfg.L1HitLat))
+			return req
+		}
+	}
+
+	// Miss in both structures: demand fill from below.
+	d.Misses++
+	if d.cfg.NextLinePrefetch {
+		// Tagged prefetch initiates on every demand miss.
+		d.issuePrefetch(cycle, d.l1.NextBlock(addr))
+	}
+	d.miss(cycle, block, req)
+	return req
+}
+
+// accessWrong handles a wrong-execution load: hits refresh LRU state only,
+// misses fill the WEC when present (or L1 when the configuration lets wrong
+// fills pollute, as in wp/wth without a WEC).
+func (d *DUnit) accessWrong(cycle uint64, block uint64, req *Request) *Request {
+	if d.l1.Touch(block) {
+		d.complete(req, cycle+uint64(d.cfg.L1HitLat))
+		return req
+	}
+	if d.side != nil && d.side.Touch(block) {
+		d.complete(req, cycle+uint64(d.cfg.L1HitLat))
+		return req
+	}
+	d.miss(cycle, block, req)
+	return req
+}
+
+// miss registers the request in the MSHRs and forwards it to the L2 when it
+// opens a new entry. An MSHR-full condition completes the request late, at
+// a pessimistic memory latency, rather than stalling the simulator.
+func (d *DUnit) miss(cycle uint64, block uint64, req *Request) {
+	allocated, ok := d.mshr.Add(block, req.ID)
+	if !ok {
+		d.complete(req, cycle+uint64(d.cfg.MemLat))
+		return
+	}
+	d.requests[req.ID] = req
+	if allocated {
+		d.h.toL2(cycle, d.tu, false, block)
+	}
+}
+
+// issuePrefetch requests block into the side buffer if it is not already
+// resident or in flight.
+func (d *DUnit) issuePrefetch(cycle uint64, block uint64) {
+	if d.side == nil && !d.cfg.NextLinePrefetch {
+		return
+	}
+	if d.l1.Probe(block) || (d.side != nil && d.side.Probe(block)) || d.mshr.Lookup(block) {
+		return
+	}
+	if d.mshr.Full() {
+		return
+	}
+	req := &Request{ID: d.h.nextID, Addr: block, Kind: Prefetch}
+	d.h.nextID++
+	d.PrefIssued++
+	allocated, ok := d.mshr.Add(block, req.ID)
+	if !ok {
+		return
+	}
+	d.requests[req.ID] = req
+	if allocated {
+		d.h.toL2(cycle, d.tu, false, block)
+	}
+}
+
+// fill delivers a block from the lower hierarchy at the given cycle.
+func (d *DUnit) fill(block uint64, cycle uint64) {
+	waiters := d.mshr.Complete(block)
+	demand := false // any correct-path demand waiter
+	store := false
+	prefetchOnly := true // only prefetch waiters
+	wrongOnly := true    // only wrong-execution waiters (no correct demand)
+	for _, tok := range waiters {
+		req := d.requests[tok]
+		if req == nil {
+			continue
+		}
+		switch {
+		case req.Kind == Prefetch:
+		case req.Wrong:
+			prefetchOnly = false
+		default:
+			demand = true
+			prefetchOnly = false
+			wrongOnly = false
+			if req.Kind == Store {
+				store = true
+			}
+		}
+		d.complete(req, cycle)
+		delete(d.requests, tok)
+	}
+
+	switch {
+	case demand:
+		// Correct-path fill goes to L1; the victim goes to the WEC/VC.
+		victim := d.l1.Insert(block, 0, store)
+		if victim.Valid {
+			if d.sideTakesVictims() {
+				d.sideInsert(victim.Addr, victim.Flags, victim.Dirty)
+			} else if victim.Dirty {
+				d.h.writeback(victim.Addr)
+			}
+		}
+	case prefetchOnly && wrongOnly:
+		// Pure prefetch fill: into the side buffer when one exists, else
+		// (nlp without PB cannot happen; PB is required) drop into L1.
+		fl := uint8(cache.FlagPrefetch)
+		if d.cfg.Side == SideWEC {
+			// WEC prefetches chain: mark them wrong-fetched so a later
+			// correct-path hit triggers the next line (§3.2.1).
+			fl |= cache.FlagWrong
+		}
+		if d.side != nil {
+			d.sideInsert(block, fl, false)
+		} else {
+			d.fillL1Polluting(block, fl)
+		}
+	default:
+		// Wrong-execution fill (possibly merged with prefetches).
+		if d.cfg.Side == SideWEC {
+			d.sideInsert(block, cache.FlagWrong, false)
+		} else if d.cfg.WrongFillsToL1 {
+			d.fillL1Polluting(block, cache.FlagWrong)
+		} else if d.side != nil && d.cfg.Side == SidePB {
+			d.sideInsert(block, cache.FlagWrong, false)
+		}
+		// With SideVC and !WrongFillsToL1 the block is dropped entirely
+		// (pure orig semantics never reach here: orig issues no wrong loads).
+	}
+}
+
+// fillL1Polluting inserts a wrong-execution or prefetch block directly into
+// L1 (the wp/wth configurations), sending the victim to the VC if present.
+func (d *DUnit) fillL1Polluting(block uint64, flags uint8) {
+	victim := d.l1.Insert(block, flags, false)
+	if victim.Valid {
+		if d.cfg.Side == SideVC {
+			d.sideInsert(victim.Addr, victim.Flags, victim.Dirty)
+		} else if victim.Dirty {
+			d.h.writeback(victim.Addr)
+		}
+	}
+}
+
+// sideTakesVictims reports whether L1 victims are captured by the side
+// buffer (victim caches always; the WEC unless ablated).
+func (d *DUnit) sideTakesVictims() bool {
+	switch d.cfg.Side {
+	case SideVC:
+		return true
+	case SideWEC:
+		return !d.cfg.WECNoVictim
+	}
+	return false
+}
+
+func (d *DUnit) sideInsert(block uint64, flags uint8, dirty bool) {
+	d.SideInserts++
+	victim := d.side.Insert(block, flags, dirty)
+	if victim.Valid && victim.Dirty {
+		d.h.writeback(victim.Addr)
+	}
+}
+
+func (d *DUnit) notePrefetchProvenance(flags uint8) {
+	if flags&cache.FlagPrefetch != 0 {
+		d.PrefUseful++
+	}
+}
+
+func (d *DUnit) complete(req *Request, at uint64) {
+	req.Done = true
+	req.DoneCycle = at
+}
+
+// applyUpdate receives a sequential-mode coherence update: if the block is
+// cached here it is refreshed in place (update protocol, §3.2.2). Returns
+// whether any structure held the block.
+func (d *DUnit) applyUpdate(addr uint64) bool {
+	block := d.l1.BlockAddr(addr)
+	hit := false
+	if d.l1.Probe(block) {
+		d.l1.SetDirty(block)
+		hit = true
+	}
+	if d.side != nil && d.side.Probe(block) {
+		hit = true
+	}
+	if hit {
+		d.UpdateRecv++
+	}
+	return hit
+}
+
+// Reset clears all cache contents, MSHRs, and statistics.
+func (d *DUnit) Reset() {
+	d.l1.Reset()
+	if d.side != nil {
+		d.side.Reset()
+	}
+	d.mshr.Reset()
+	d.requests = make(map[int64]*Request)
+	d.portsUsed = 0
+	d.Accesses, d.Misses, d.Traffic, d.WrongAcc = 0, 0, 0, 0
+	d.SideHits, d.SideInserts, d.PrefIssued, d.PrefUseful = 0, 0, 0, 0
+	d.WrongUseful, d.UpdateRecv = 0, 0
+}

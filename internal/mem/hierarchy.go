@@ -1,0 +1,232 @@
+package mem
+
+import (
+	"container/heap"
+
+	"repro/internal/cache"
+)
+
+// instBase places instruction addresses in a disjoint region of the shared
+// L2's address space so code and data never alias.
+const instBase = uint64(1) << 40
+
+// Hierarchy owns the shared portion of the memory system (unified L2 and
+// DRAM) and the per-thread-unit L1 units. Drive it with BeginCycle at the
+// top of every simulated cycle and Tick at the bottom.
+type Hierarchy struct {
+	cfg    Config
+	l2     *cache.Cache
+	l2MSHR *cache.MSHRFile
+	dunits []*DUnit
+	iunits []*IUnit
+
+	l2Queue []l2Req
+	fills   fillHeap
+	nextID  int64
+	cycle   uint64
+
+	// Statistics.
+	L2Accesses uint64
+	L2Misses   uint64
+	DRAMFills  uint64
+	Writebacks uint64
+	UpdateBus  uint64 // sequential-mode coherence bus transactions
+}
+
+type l2Req struct {
+	block uint64 // L1-block-aligned address (instBase-tagged for code)
+	ready uint64
+	tu    int
+	isI   bool
+}
+
+type fill struct {
+	at    uint64
+	block uint64
+	tu    int
+	isI   bool
+}
+
+type fillHeap []fill
+
+func (h fillHeap) Len() int           { return len(h) }
+func (h fillHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h fillHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *fillHeap) Push(x any)        { *h = append(*h, x.(fill)) }
+func (h *fillHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// NewHierarchy builds the memory system for nTU thread units.
+func NewHierarchy(nTU int, cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cache.Params{
+		SizeBytes: cfg.L2Size, Assoc: cfg.L2Assoc, BlockBytes: cfg.L2Block,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		cfg:    cfg,
+		l2:     l2,
+		l2MSHR: cache.NewMSHRFile(cfg.L2MSHRs),
+	}
+	for tu := 0; tu < nTU; tu++ {
+		du, err := newDUnit(h, tu, cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.dunits = append(h.dunits, du)
+		iu, err := newIUnit(h, tu, cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.iunits = append(h.iunits, iu)
+	}
+	return h, nil
+}
+
+// DUnit returns thread unit tu's data port.
+func (h *Hierarchy) DUnit(tu int) *DUnit { return h.dunits[tu] }
+
+// IUnit returns thread unit tu's instruction port.
+func (h *Hierarchy) IUnit(tu int) *IUnit { return h.iunits[tu] }
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// L2 exposes the shared cache for tests.
+func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+
+// BeginCycle resets per-cycle port state; call before stepping the cores.
+func (h *Hierarchy) BeginCycle(cycle uint64) {
+	h.cycle = cycle
+	for _, d := range h.dunits {
+		d.beginCycle()
+	}
+}
+
+// toL2 enqueues a fill request for an L1 block.
+func (h *Hierarchy) toL2(cycle uint64, tu int, isI bool, block uint64) {
+	h.l2Queue = append(h.l2Queue, l2Req{block: block, ready: cycle + 1, tu: tu, isI: isI})
+}
+
+// writeback models a dirty eviction below the L1s. Writebacks consume L2
+// bandwidth statistics but, as in sim-outorder, do not delay demand fills.
+func (h *Hierarchy) writeback(block uint64) {
+	h.Writebacks++
+	h.l2.Insert(block, 0, true)
+}
+
+// SequentialUpdate propagates a store executed during sequential execution
+// to every other (idle) thread unit's private caches via the shared bus
+// update protocol of §3.2.2. It adds bus traffic but no stall cycles.
+func (h *Hierarchy) SequentialUpdate(srcTU int, addr uint64) {
+	for tu, d := range h.dunits {
+		if tu == srcTU {
+			continue
+		}
+		if d.applyUpdate(addr) {
+			h.UpdateBus++
+		}
+	}
+}
+
+// Tick advances the shared levels by one cycle: the L2 accepts one request,
+// DRAM completions fill the L2, and finished fills are delivered to the L1
+// units. Call after stepping the cores each cycle.
+func (h *Hierarchy) Tick(cycle uint64) {
+	// L2 accepts one request per cycle, FIFO.
+	if len(h.l2Queue) > 0 && h.l2Queue[0].ready <= cycle {
+		req := h.l2Queue[0]
+		h.l2Queue = h.l2Queue[1:]
+		h.serviceL2(cycle, req)
+	}
+	// Deliver due fills.
+	for len(h.fills) > 0 && h.fills[0].at <= cycle {
+		f := heap.Pop(&h.fills).(fill)
+		switch {
+		case f.tu < 0:
+			h.completeDRAM(f.at, f.block)
+		case f.isI:
+			h.iunits[f.tu].fill(f.block)
+		default:
+			h.dunits[f.tu].fill(f.block, f.at)
+		}
+	}
+}
+
+// serviceL2 performs one L2 lookup for an L1 miss.
+func (h *Hierarchy) serviceL2(cycle uint64, req l2Req) {
+	h.L2Accesses++
+	l2block := h.l2.BlockAddr(req.block)
+	if _, hit := h.l2.Access(l2block, false); hit {
+		heap.Push(&h.fills, fill{
+			at:    cycle + uint64(h.cfg.L2HitLat) - 1,
+			block: req.block,
+			tu:    req.tu,
+			isI:   req.isI,
+		})
+		return
+	}
+	h.L2Misses++
+	// Encode the waiting L1 request into an opaque MSHR token:
+	// block<<7 | isI<<6 | tu. Block addresses stay below 2^41 (instBase is
+	// 1<<40) and nTU below 64, so the token fits an int64 losslessly.
+	tok := int64(req.block)<<7 | int64(req.tu)
+	if req.isI {
+		tok |= 1 << 6
+	}
+	allocated, ok := h.l2MSHR.Add(l2block, tok)
+	if !ok {
+		// L2 MSHRs exhausted: service without merging at full latency.
+		heap.Push(&h.fills, fill{
+			at:    cycle + uint64(h.cfg.MemLat) - 1,
+			block: req.block,
+			tu:    req.tu,
+			isI:   req.isI,
+		})
+		h.DRAMFills++
+		return
+	}
+	if allocated {
+		// DRAM completes the L2 fill; waiters are released then.
+		heap.Push(&h.fills, fill{
+			at:    cycle + uint64(h.cfg.MemLat) - uint64(h.cfg.L2HitLat) - 1,
+			block: l2block,
+			tu:    -1, // sentinel: DRAM->L2 fill
+		})
+	}
+}
+
+// completeDRAM is invoked via the fill heap sentinel (tu == -1): the L2
+// block arrives from memory, is inserted into the L2, and all merged L1
+// waiters receive their fills after the L2 pass-through latency.
+func (h *Hierarchy) completeDRAM(cycle uint64, l2block uint64) {
+	h.DRAMFills++
+	victim := h.l2.Insert(l2block, 0, false)
+	_ = victim // L2 victims write back to DRAM; no further state to model.
+	for _, tok := range h.l2MSHR.Complete(l2block) {
+		heap.Push(&h.fills, fill{
+			at:    cycle + uint64(h.cfg.L2HitLat),
+			block: uint64(tok) >> 7,
+			tu:    int(tok & 63),
+			isI:   tok&(1<<6) != 0,
+		})
+	}
+}
+
+// Reset restores the hierarchy to power-on state.
+func (h *Hierarchy) Reset() {
+	h.l2.Reset()
+	h.l2MSHR.Reset()
+	for _, d := range h.dunits {
+		d.Reset()
+	}
+	for _, iu := range h.iunits {
+		iu.Reset()
+	}
+	h.l2Queue = nil
+	h.fills = nil
+	h.L2Accesses, h.L2Misses, h.DRAMFills, h.Writebacks, h.UpdateBus = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,71 @@
+package mem
+
+import "repro/internal/cache"
+
+// IUnit is one thread unit's instruction-fetch port: a private L1
+// instruction cache backed by the shared L2. Fetch is modeled at block
+// granularity: the core asks whether the block containing a PC is resident;
+// a miss starts a fill and the core stalls until it lands. One outstanding
+// instruction miss per unit, which matches an in-order front end.
+type IUnit struct {
+	h   *Hierarchy
+	tu  int
+	cfg Config
+	l1i *cache.Cache
+
+	pending      bool
+	pendingBlock uint64
+
+	// Statistics.
+	Fetches uint64
+	Misses  uint64
+}
+
+func newIUnit(h *Hierarchy, tu int, cfg Config) (*IUnit, error) {
+	l1i, err := cache.New(cache.Params{
+		SizeBytes: cfg.L1ISize, Assoc: cfg.L1IAssoc, BlockBytes: cfg.L1IBlock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IUnit{h: h, tu: tu, cfg: cfg, l1i: l1i}, nil
+}
+
+// instAddr maps an instruction index to its simulated byte address in the
+// code region of the shared address space.
+func instAddr(pc int) uint64 { return instBase + uint64(pc)*16 }
+
+// FetchReady reports whether the block holding pc is in the I-cache. On a
+// miss it starts the fill (if none is outstanding) and returns false; the
+// core should retry each cycle until the fill lands.
+func (iu *IUnit) FetchReady(cycle uint64, pc int) bool {
+	addr := instAddr(pc)
+	block := iu.l1i.BlockAddr(addr)
+	if iu.pending {
+		return false
+	}
+	iu.Fetches++
+	if _, hit := iu.l1i.Access(addr, false); hit {
+		return true
+	}
+	iu.Misses++
+	iu.pending = true
+	iu.pendingBlock = block
+	iu.h.toL2(cycle, iu.tu, true, block)
+	return false
+}
+
+// fill receives the missing instruction block from the L2.
+func (iu *IUnit) fill(block uint64) {
+	iu.l1i.Insert(block, 0, false)
+	if iu.pending && block == iu.pendingBlock {
+		iu.pending = false
+	}
+}
+
+// Reset restores power-on state.
+func (iu *IUnit) Reset() {
+	iu.l1i.Reset()
+	iu.pending = false
+	iu.Fetches, iu.Misses = 0, 0
+}

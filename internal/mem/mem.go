@@ -1,0 +1,171 @@
+// Package mem implements the simulated memory hierarchy of the
+// superthreaded processor: per-thread-unit L1 instruction and data caches
+// with an optional side buffer (victim cache, next-line prefetch buffer, or
+// the Wrong Execution Cache), a shared unified L2, and a fixed-latency
+// DRAM. Timing is cycle-driven: thread units issue requests through their
+// DUnit/IUnit, and Hierarchy.Tick advances the L2 and DRAM pipelines,
+// delivering fills back to the requesting unit.
+//
+// The WEC policy follows Figure 6 of the paper:
+//
+//   - correct-path L1 hit: normal hit;
+//   - correct-path L1 miss, WEC hit: block swaps with the L1 victim and, if
+//     the block was fetched by wrong execution, a next-line prefetch into
+//     the WEC is issued;
+//   - correct-path miss in both: fill L1 from below, L1 victim into the WEC
+//     (victim-cache behaviour);
+//   - wrong-execution miss in both: fill the WEC only, eliminating
+//     pollution;
+//   - wrong-execution hit (either structure): LRU refresh only.
+package mem
+
+import "fmt"
+
+// SideBufKind selects the structure placed beside the L1 data cache.
+type SideBufKind uint8
+
+// Side-buffer kinds for the paper's processor configurations.
+const (
+	SideNone SideBufKind = iota // orig, wp, wth, wth-wp
+	SideVC                      // victim cache (vc, wth-wp-vc)
+	SideWEC                     // wrong execution cache (wth-wp-wec)
+	SidePB                      // prefetch buffer for next-line prefetch (nlp)
+)
+
+// String returns the configuration-file name of the side buffer kind.
+func (k SideBufKind) String() string {
+	switch k {
+	case SideNone:
+		return "none"
+	case SideVC:
+		return "vc"
+	case SideWEC:
+		return "wec"
+	case SidePB:
+		return "pb"
+	}
+	return fmt.Sprintf("sidebuf(%d)", uint8(k))
+}
+
+// Config describes one thread unit's private caches plus the shared levels.
+// All units of a machine share the L2/DRAM parameters.
+type Config struct {
+	// L1 data cache (per TU).
+	L1DSize  int // bytes
+	L1DAssoc int // 1 = direct mapped; 0 = fully associative
+	L1DBlock int // bytes
+	L1DPorts int // processor accesses accepted per cycle
+	L1DMSHRs int
+
+	// Side buffer beside the L1D.
+	Side        SideBufKind
+	SideEntries int
+
+	// Behaviour knobs (see paper §4.3 configuration list).
+	WrongFillsToL1   bool // wp/wth without a WEC: wrong fills pollute L1
+	NextLinePrefetch bool // nlp: tagged next-line prefetch into the PB
+
+	// Ablation knobs (DESIGN.md decision 3): disable individual WEC roles.
+	WECNoVictim   bool // WEC does not receive L1 victims
+	WECNoNextLine bool // no next-line prefetch on correct hits to wrong blocks
+
+	// L1 instruction cache (per TU).
+	L1ISize  int
+	L1IAssoc int
+	L1IBlock int
+
+	// Shared unified L2.
+	L2Size  int
+	L2Assoc int
+	L2Block int
+	L2MSHRs int
+
+	// Latencies in cycles.
+	L1HitLat int // load-to-use on an L1 hit
+	L2HitLat int // L1 miss serviced by L2
+	MemLat   int // L1 miss serviced by DRAM (round trip, §4.1: 200)
+}
+
+// DefaultConfig returns the paper's §5.2 defaults: 8 KB direct-mapped L1D
+// with 64-byte blocks and two ports, 32 KB 2-way L1I, 512 KB 4-way unified
+// L2 with 128-byte blocks, 200-cycle memory round trip, and an 8-entry
+// fully-associative side buffer (kind chosen by the processor config).
+func DefaultConfig() Config {
+	return Config{
+		L1DSize:  8 * 1024,
+		L1DAssoc: 1,
+		L1DBlock: 64,
+		L1DPorts: 2,
+		L1DMSHRs: 8,
+
+		Side:        SideNone,
+		SideEntries: 8,
+
+		L1ISize:  32 * 1024,
+		L1IAssoc: 2,
+		L1IBlock: 64,
+
+		// The paper's L2 is 512 KB against MinneSPEC footprints of tens of
+		// megabytes. Our kernels are ~100x smaller, so the shared L2 is
+		// scaled to 64 KB to preserve the paper's footprint:L2 ratio; the
+		// Fig. 14 sweep keeps the paper's 1:2:4 size progression.
+		L2Size:  64 * 1024,
+		L2Assoc: 4,
+		L2Block: 128,
+		L2MSHRs: 16,
+
+		L1HitLat: 1,
+		L2HitLat: 12,
+		MemLat:   200,
+	}
+}
+
+// Validate reports configuration errors before any structure is built.
+func (c Config) Validate() error {
+	if c.L1DPorts <= 0 {
+		return fmt.Errorf("mem: L1D ports must be positive")
+	}
+	if c.L1DMSHRs <= 0 || c.L2MSHRs <= 0 {
+		return fmt.Errorf("mem: MSHR counts must be positive")
+	}
+	if c.L1HitLat <= 0 || c.L2HitLat <= c.L1HitLat || c.MemLat <= c.L2HitLat {
+		return fmt.Errorf("mem: latencies must increase down the hierarchy")
+	}
+	if c.Side != SideNone && c.SideEntries <= 0 {
+		return fmt.Errorf("mem: side buffer needs a positive entry count")
+	}
+	if c.L2Block < c.L1DBlock {
+		return fmt.Errorf("mem: L2 block (%d) smaller than L1 block (%d)", c.L2Block, c.L1DBlock)
+	}
+	return nil
+}
+
+// AccessKind distinguishes demand loads, demand stores, and prefetches.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	Load AccessKind = iota
+	Store
+	Prefetch
+)
+
+// PhysBits is the simulated physical address width. Speculative and
+// wrong-execution loads can compute wild addresses (e.g. from registers a
+// forked thread never received); like real hardware, the memory system
+// truncates every data access to the physical space instead of faulting.
+const PhysBits = 38
+
+// PhysMask truncates an address to the physical space.
+const PhysMask = (uint64(1) << PhysBits) - 1
+
+// Request is one outstanding data access. The issuing core polls Done.
+type Request struct {
+	ID    int64
+	Addr  uint64
+	Kind  AccessKind
+	Wrong bool // issued by wrong-path or wrong-thread execution
+
+	Done      bool
+	DoneCycle uint64 // cycle at which the value is available
+}

@@ -1,0 +1,530 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// run drives the hierarchy for n cycles with no new requests.
+func run(h *Hierarchy, from *uint64, n int) {
+	for i := 0; i < n; i++ {
+		h.BeginCycle(*from)
+		h.Tick(*from)
+		*from++
+	}
+}
+
+func newH(t *testing.T, nTU int, mut func(*Config)) *Hierarchy {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	h, err := NewHierarchy(nTU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.L1DPorts = 0
+	if bad.Validate() == nil {
+		t.Error("zero ports accepted")
+	}
+	bad = good
+	bad.L2HitLat = good.L1HitLat
+	if bad.Validate() == nil {
+		t.Error("non-increasing latency accepted")
+	}
+	bad = good
+	bad.Side = SideWEC
+	bad.SideEntries = 0
+	if bad.Validate() == nil {
+		t.Error("side buffer with zero entries accepted")
+	}
+	bad = good
+	bad.L2Block = 32
+	if bad.Validate() == nil {
+		t.Error("L2 block smaller than L1 accepted")
+	}
+}
+
+func TestDemandMissLatencyFromDRAM(t *testing.T) {
+	h := newH(t, 1, nil)
+	d := h.DUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	req := d.Access(cyc, 0x1000, Load, false)
+	if req.Done {
+		t.Fatal("cold miss completed instantly")
+	}
+	h.Tick(cyc)
+	cyc++
+	limit := cyc + 400
+	for !req.Done && cyc < limit {
+		run(h, &cyc, 1)
+	}
+	if !req.Done {
+		t.Fatal("fill never arrived")
+	}
+	got := req.DoneCycle
+	want := uint64(DefaultConfig().MemLat)
+	if got < want-2 || got > want+2 {
+		t.Errorf("DRAM fill latency = %d, want about %d", got, want)
+	}
+	if h.L2Misses != 1 || h.DRAMFills != 1 {
+		t.Errorf("L2Misses=%d DRAMFills=%d", h.L2Misses, h.DRAMFills)
+	}
+}
+
+func TestHitLatency(t *testing.T) {
+	h := newH(t, 1, nil)
+	d := h.DUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	req := d.Access(cyc, 0x1000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	for !req.Done {
+		run(h, &cyc, 1)
+	}
+	h.BeginCycle(cyc)
+	req2 := d.Access(cyc, 0x1008, Load, false) // same block
+	if !req2.Done || req2.DoneCycle != cyc+uint64(DefaultConfig().L1HitLat) {
+		t.Errorf("hit: done=%v at %d", req2.Done, req2.DoneCycle)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	h := newH(t, 1, nil)
+	d := h.DUnit(0)
+	var cyc uint64
+	// Bring 0x1000 into L1+L2, then evict it from the direct-mapped L1 with
+	// a conflicting address (8KB DM: 0x1000 + 8192 maps to the same set).
+	h.BeginCycle(cyc)
+	r1 := d.Access(cyc, 0x1000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	for !r1.Done {
+		run(h, &cyc, 1)
+	}
+	h.BeginCycle(cyc)
+	r2 := d.Access(cyc, 0x1000+8192, Load, false)
+	h.Tick(cyc)
+	cyc++
+	for !r2.Done {
+		run(h, &cyc, 1)
+	}
+	if d.L1().Probe(0x1000) {
+		t.Fatal("conflicting block did not evict")
+	}
+	// Re-access 0x1000: L1 miss, L2 hit (same L2 block fetched earlier).
+	h.BeginCycle(cyc)
+	start := cyc
+	r3 := d.Access(cyc, 0x1000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	for !r3.Done {
+		run(h, &cyc, 1)
+	}
+	lat := r3.DoneCycle - start
+	want := uint64(DefaultConfig().L2HitLat)
+	if lat < want-2 || lat > want+2 {
+		t.Errorf("L2 hit latency = %d, want about %d", lat, want)
+	}
+}
+
+func TestMSHRMergeSameBlock(t *testing.T) {
+	h := newH(t, 1, nil)
+	d := h.DUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	r1 := d.Access(cyc, 0x2000, Load, false)
+	r2 := d.Access(cyc, 0x2010, Load, false) // same 64B block
+	h.Tick(cyc)
+	cyc++
+	for !r1.Done || !r2.Done {
+		run(h, &cyc, 1)
+	}
+	if r1.DoneCycle != r2.DoneCycle {
+		t.Errorf("merged requests completed at %d and %d", r1.DoneCycle, r2.DoneCycle)
+	}
+	if h.L2Accesses != 1 {
+		t.Errorf("L2Accesses = %d, want 1 (merged)", h.L2Accesses)
+	}
+}
+
+func TestPortLimit(t *testing.T) {
+	h := newH(t, 1, nil)
+	d := h.DUnit(0)
+	h.BeginCycle(0)
+	if !d.CanAccept() {
+		t.Fatal("fresh unit refuses access")
+	}
+	d.Access(0, 0x100, Load, false)
+	d.Access(0, 0x200, Load, false)
+	if d.CanAccept() {
+		t.Error("third access in one cycle accepted with 2 ports")
+	}
+	h.Tick(0)
+	h.BeginCycle(1)
+	if !d.CanAccept() {
+		t.Error("ports did not reset at cycle boundary")
+	}
+}
+
+// fillWait drives until a request completes.
+func fillWait(t *testing.T, h *Hierarchy, cyc *uint64, reqs ...*Request) {
+	t.Helper()
+	for n := 0; n < 10000; n++ {
+		done := true
+		for _, r := range reqs {
+			if !r.Done {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		run(h, cyc, 1)
+	}
+	t.Fatal("requests never completed")
+}
+
+func TestWrongFillGoesToWECNotL1(t *testing.T) {
+	h := newH(t, 1, func(c *Config) { c.Side = SideWEC })
+	d := h.DUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	r := d.Access(cyc, 0x3000, Load, true) // wrong-execution load
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r)
+	if d.L1().Probe(0x3000) {
+		t.Error("wrong fill polluted L1 despite WEC")
+	}
+	if !d.Side().Probe(0x3000) {
+		t.Error("wrong fill missing from WEC")
+	}
+	fl, _ := d.Side().Flags(0x3000)
+	if fl&cache.FlagWrong == 0 {
+		t.Error("wrong fill not flagged")
+	}
+}
+
+func TestWrongFillPollutesL1WithoutWEC(t *testing.T) {
+	h := newH(t, 1, func(c *Config) { c.WrongFillsToL1 = true }) // wp/wth
+	d := h.DUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	r := d.Access(cyc, 0x3000, Load, true)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r)
+	if !d.L1().Probe(0x3000) {
+		t.Error("wp config should fill L1 with wrong loads")
+	}
+}
+
+func TestWECHitSwapsIntoL1(t *testing.T) {
+	h := newH(t, 1, func(c *Config) { c.Side = SideWEC })
+	d := h.DUnit(0)
+	var cyc uint64
+	// Wrong load fills WEC.
+	h.BeginCycle(cyc)
+	r := d.Access(cyc, 0x3000, Load, true)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r)
+	// Occupy the conflicting L1 set so the swap has a victim.
+	h.BeginCycle(cyc)
+	r2 := d.Access(cyc, 0x3000+8192, Load, false)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r2)
+	// Correct-path access to the wrong-fetched block: L1 miss, WEC hit.
+	h.BeginCycle(cyc)
+	start := cyc
+	r3 := d.Access(cyc, 0x3000, Load, false)
+	if !r3.Done || r3.DoneCycle != start+1 {
+		t.Errorf("WEC hit should complete like an L1 hit; done=%v at %d", r3.Done, r3.DoneCycle)
+	}
+	h.Tick(cyc)
+	cyc++
+	if !d.L1().Probe(0x3000) {
+		t.Error("WEC hit did not promote block to L1")
+	}
+	if d.Side().Probe(0x3000) {
+		t.Error("block still in WEC after swap")
+	}
+	if !d.Side().Probe(0x3000 + 8192) {
+		t.Error("L1 victim not swapped into WEC")
+	}
+	if d.SideHits != 1 || d.WrongUseful != 1 {
+		t.Errorf("SideHits=%d WrongUseful=%d", d.SideHits, d.WrongUseful)
+	}
+	// The hit on a wrong-fetched block must have triggered a next-line
+	// prefetch into the WEC.
+	if d.PrefIssued != 1 {
+		t.Fatalf("PrefIssued = %d, want 1", d.PrefIssued)
+	}
+	for i := 0; i < 400; i++ {
+		run(h, &cyc, 1)
+	}
+	if !d.Side().Probe(0x3040) {
+		t.Error("next-line prefetch result not in WEC")
+	}
+}
+
+// TestL1WECExclusive is the paper's structural invariant: a block is never
+// valid in both the L1 and the WEC (DESIGN.md decision 4).
+func TestL1WECExclusive(t *testing.T) {
+	h := newH(t, 1, func(c *Config) { c.Side = SideWEC; c.SideEntries = 4; c.L1DSize = 512 })
+	d := h.DUnit(0)
+	var cyc uint64
+	addrs := []uint64{0, 64, 512, 576, 1024, 0, 512, 64, 2048, 0}
+	wrong := []bool{false, true, false, true, false, true, false, false, true, false}
+	for i, a := range addrs {
+		h.BeginCycle(cyc)
+		if d.CanAccept() && !d.MSHRFull() {
+			d.Access(cyc, a, Load, wrong[i])
+		}
+		h.Tick(cyc)
+		cyc++
+		run(h, &cyc, 250) // let every fill land
+		inL1 := make(map[uint64]bool)
+		for _, b := range d.L1().ResidentBlocks() {
+			inL1[b] = true
+		}
+		for _, b := range d.Side().ResidentBlocks() {
+			if inL1[b] {
+				t.Fatalf("block %#x valid in both L1 and WEC after access %d", b, i)
+			}
+		}
+	}
+}
+
+func TestVictimCacheBehaviour(t *testing.T) {
+	h := newH(t, 1, func(c *Config) { c.Side = SideVC })
+	d := h.DUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	r1 := d.Access(cyc, 0x4000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r1)
+	// Conflict evicts 0x4000 into the VC.
+	h.BeginCycle(cyc)
+	r2 := d.Access(cyc, 0x4000+8192, Load, false)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r2)
+	if !d.Side().Probe(0x4000) {
+		t.Fatal("victim not in VC")
+	}
+	// Re-access: VC hit at L1-hit latency.
+	h.BeginCycle(cyc)
+	r3 := d.Access(cyc, 0x4000, Load, false)
+	if !r3.Done {
+		t.Fatal("VC hit did not complete immediately")
+	}
+	if d.SideHits != 1 {
+		t.Errorf("SideHits = %d", d.SideHits)
+	}
+	// VC never receives prefetches.
+	if d.PrefIssued != 0 {
+		t.Error("victim cache issued a prefetch")
+	}
+}
+
+func TestNLPTaggedPrefetch(t *testing.T) {
+	h := newH(t, 1, func(c *Config) {
+		c.Side = SidePB
+		c.NextLinePrefetch = true
+	})
+	d := h.DUnit(0)
+	var cyc uint64
+	// Demand miss on block 0 issues prefetch of block 1.
+	h.BeginCycle(cyc)
+	r1 := d.Access(cyc, 0x5000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r1)
+	if d.PrefIssued != 1 {
+		t.Fatalf("prefetch on miss not issued: %d", d.PrefIssued)
+	}
+	run(h, &cyc, 300)
+	if !d.Side().Probe(0x5040) {
+		t.Fatal("prefetched block not in PB")
+	}
+	// Demand access to the prefetched block: PB hit promotes to L1 and
+	// (tagged) issues the next prefetch.
+	h.BeginCycle(cyc)
+	r2 := d.Access(cyc, 0x5040, Load, false)
+	if !r2.Done {
+		t.Fatal("PB hit should complete at hit latency")
+	}
+	h.Tick(cyc)
+	cyc++
+	if !d.L1().Probe(0x5040) {
+		t.Error("PB hit did not promote to L1")
+	}
+	if d.PrefIssued != 2 {
+		t.Errorf("tagged prefetch on first hit not issued: %d", d.PrefIssued)
+	}
+	if d.PrefUseful != 1 {
+		t.Errorf("PrefUseful = %d", d.PrefUseful)
+	}
+}
+
+func TestPrefetchNotDuplicated(t *testing.T) {
+	h := newH(t, 1, func(c *Config) { c.Side = SideWEC })
+	d := h.DUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	r := d.Access(cyc, 0x6000, Load, true)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r)
+	// Two correct hits on the same wrong-fetched block: the block is
+	// promoted on the first, so only one prefetch can trigger; and a
+	// prefetch for a block already in flight or resident must not repeat.
+	h.BeginCycle(cyc)
+	d.Access(cyc, 0x6000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	h.BeginCycle(cyc)
+	d.Access(cyc, 0x6000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	if d.PrefIssued != 1 {
+		t.Errorf("PrefIssued = %d, want 1", d.PrefIssued)
+	}
+}
+
+func TestStoreMissFetchesAndDirties(t *testing.T) {
+	h := newH(t, 1, nil)
+	d := h.DUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	r := d.Access(cyc, 0x7000, Store, false)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r)
+	if !d.L1().Probe(0x7000) {
+		t.Fatal("store miss did not allocate")
+	}
+	// Evicting the dirty block must produce a writeback.
+	h.BeginCycle(cyc)
+	r2 := d.Access(cyc, 0x7000+8192, Load, false)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r2)
+	if h.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", h.Writebacks)
+	}
+}
+
+func TestSequentialUpdateCoherence(t *testing.T) {
+	h := newH(t, 2, func(c *Config) { c.Side = SideWEC })
+	var cyc uint64
+	// TU1 caches block 0x8000.
+	h.BeginCycle(cyc)
+	r := h.DUnit(1).Access(cyc, 0x8000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r)
+	// TU0 stores to it during sequential execution.
+	h.SequentialUpdate(0, 0x8000)
+	if h.UpdateBus != 1 {
+		t.Errorf("UpdateBus = %d, want 1", h.UpdateBus)
+	}
+	if h.DUnit(1).UpdateRecv != 1 {
+		t.Errorf("TU1 UpdateRecv = %d", h.DUnit(1).UpdateRecv)
+	}
+	// Block remains resident (update, not invalidate protocol).
+	if !h.DUnit(1).L1().Probe(0x8000) {
+		t.Error("update protocol invalidated the block")
+	}
+	// An update to an uncached block generates no bus traffic.
+	h.SequentialUpdate(0, 0x9000)
+	if h.UpdateBus != 1 {
+		t.Error("uncached update counted as bus traffic")
+	}
+}
+
+func TestInstructionFetch(t *testing.T) {
+	h := newH(t, 1, nil)
+	iu := h.IUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	if iu.FetchReady(cyc, 0) {
+		t.Fatal("cold I-cache hit")
+	}
+	h.Tick(cyc)
+	cyc++
+	for i := 0; i < 400 && !func() bool {
+		h.BeginCycle(cyc)
+		ok := iu.FetchReady(cyc, 0)
+		h.Tick(cyc)
+		cyc++
+		return ok
+	}(); i++ {
+	}
+	h.BeginCycle(cyc)
+	if !iu.FetchReady(cyc, 1) { // same 64B block (4 insts of 16B)
+		t.Error("same-block PC missed after fill")
+	}
+	if !iu.FetchReady(cyc, 3) {
+		t.Error("block boundary wrong")
+	}
+	if iu.FetchReady(cyc, 4) { // next block
+		t.Error("next block should miss")
+	}
+	h.Tick(cyc)
+}
+
+func TestSeparateTUsDontShareL1(t *testing.T) {
+	h := newH(t, 2, nil)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	r := h.DUnit(0).Access(cyc, 0xA000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r)
+	if h.DUnit(1).L1().Probe(0xA000) {
+		t.Error("TU1 L1 shares contents with TU0")
+	}
+	// But the shared L2 now holds it: TU1's miss is an L2 hit.
+	h.BeginCycle(cyc)
+	start := cyc
+	r2 := h.DUnit(1).Access(cyc, 0xA000, Load, false)
+	h.Tick(cyc)
+	cyc++
+	fillWait(t, h, &cyc, r2)
+	if r2.DoneCycle-start > uint64(DefaultConfig().L2HitLat)+2 {
+		t.Errorf("TU1 did not benefit from shared L2: latency %d", r2.DoneCycle-start)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := newH(t, 1, func(c *Config) { c.Side = SideWEC })
+	d := h.DUnit(0)
+	var cyc uint64
+	h.BeginCycle(cyc)
+	d.Access(cyc, 0x100, Load, false)
+	h.Tick(cyc)
+	cyc++
+	run(h, &cyc, 300)
+	h.Reset()
+	if d.L1().Probe(0x100) || d.Accesses != 0 || h.L2Accesses != 0 {
+		t.Error("Reset incomplete")
+	}
+}

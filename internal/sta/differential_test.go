@@ -1,0 +1,171 @@
+package sta
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// slack mirrors workload.Slack for wrong-thread overrun headroom.
+const slack = 80
+
+// emitTestRegion is a local copy of the workload package's region
+// skeleton (continuation/fork/TSAG/body/exit), used to generate random
+// thread-pipelined code without importing unexported helpers.
+func emitTestRegion(b *asm.Builder, name string, mask []int, tsag, body func()) {
+	b.Begin(mask...)
+	b.Label(name + "_body")
+	b.Op3(isa.ADD, 9, 1, 0)
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Fork(name + "_body")
+	if tsag != nil {
+		tsag()
+	}
+	b.Tsagd()
+	body()
+	b.Br(isa.BLT, 1, 2, name+"_cont")
+	b.Abort()
+	b.Jmp(name + "_after")
+	b.Label(name + "_cont")
+	b.Thend()
+	b.Label(name + "_after")
+}
+
+// randParallelProgram generates a random but well-formed thread-pipelined
+// program: an outer loop of parallel regions whose iteration bodies mix
+// random arithmetic, loads from shared read-only data, stores to
+// iteration-private output slots, and (optionally) a cross-iteration
+// dependence carried through TSA/TST. The generator observes the workload
+// discipline from the package comment, so every generated program must
+// produce interpreter-identical results on any machine configuration.
+func randParallelProgram(rng *rand.Rand, windows, window int, useTST bool) *isa.Program {
+	b := asm.New()
+	n := windows * window
+	shared := b.Alloc("shared", 8*1024, 0)
+	out := b.Alloc("out", 8*(n+slack), 0)
+	cell := b.Alloc("cell", 8*(n+slack), 0)
+	for i := 0; i < 1024; i++ {
+		b.InitWord(shared+uint64(8*i), rng.Int63n(1<<40))
+	}
+
+	b.Li(3, int64(shared))
+	b.Li(4, int64(out))
+	b.Li(5, int64(cell))
+	b.Li(21, 0)
+	b.Li(22, int64(windows))
+	b.Li(23, int64(window))
+
+	intOps := []isa.Op{isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR, isa.SLT}
+	reg := func() int { return 10 + rng.Intn(8) } // r10..r17 body temps
+
+	hammock := 0
+	b.Label("outer")
+	b.Op3(isa.MUL, 1, 21, 23)
+	b.Op3(isa.ADD, 2, 1, 23)
+	emitTestRegion(b, "rnd", []int{1, 2, 3, 4, 5, 21, 22, 23},
+		func() {
+			if useTST {
+				// Announce my target store cell[i].
+				b.OpI(isa.SLLI, 18, 9, 3)
+				b.Op3(isa.ADD, 18, 18, 5)
+				b.Tsa(0, 18)
+			}
+		},
+		func() {
+			// Seed every body temp from the iteration index: a forked
+			// thread's unforwarded registers are poisoned, so any read
+			// before write would (correctly) break the run.
+			for rr := 10; rr <= 17; rr++ {
+				b.OpI(isa.ADDI, rr, 9, int64(rr*7))
+			}
+			b.Op3(isa.MUL, 12, 9, 9)
+			ops := 6 + rng.Intn(10)
+			for k := 0; k < ops; k++ {
+				switch rng.Intn(5) {
+				case 0, 1:
+					b.Op3(intOps[rng.Intn(len(intOps))], reg(), reg(), reg())
+				case 2:
+					b.OpI(isa.ADDI, reg(), reg(), rng.Int63n(64)-32)
+				case 3:
+					// Load from shared (read-only in parallel regions).
+					b.OpI(isa.ANDI, 19, reg(), 1023)
+					b.OpI(isa.SLLI, 19, 19, 3)
+					b.Op3(isa.ADD, 19, 19, 3)
+					b.Ld(reg(), 0, 19)
+				case 4:
+					// Short data-dependent hammock.
+					hammock++
+					lbl := fmt.Sprintf("rnd_h%d", hammock)
+					b.Br(isa.BGE, reg(), reg(), lbl)
+					b.OpI(isa.ADDI, reg(), reg(), 3)
+					b.Label(lbl)
+				}
+			}
+			if useTST {
+				// Cross-iteration chain: cell[i] = cell[i-1] + f(temps);
+				// iteration 0 of each *window* reads cell[i-1] of the
+				// previous window, which has been written back by then.
+				b.OpI(isa.SLLI, 18, 9, 3)
+				b.Op3(isa.ADD, 18, 18, 5)
+				b.Br(isa.BEQ, 9, 0, "rnd_first")
+				b.Ld(19, -8, 18)
+				b.Jmp("rnd_sum")
+				b.Label("rnd_first")
+				b.Li(19, 0)
+				b.Label("rnd_sum")
+				b.Op3(isa.ADD, 19, 19, 10)
+				b.Tst(19, 0, 18)
+			}
+			// Private output: out[i] = mix of temps.
+			b.Op3(isa.XOR, 16, 10, 11)
+			b.Op3(isa.ADD, 16, 16, 12)
+			b.OpI(isa.SLLI, 17, 9, 3)
+			b.Op3(isa.ADD, 17, 17, 4)
+			b.St(16, 0, 17)
+		})
+	b.OpI(isa.ADDI, 21, 21, 1)
+	b.Br(isa.BLT, 21, 22, "outer")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestDifferentialParallelPrograms runs random parallel programs on
+// several machine shapes and configurations and requires the
+// interpreter's exact memory image from all of them.
+func TestDifferentialParallelPrograms(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)*6700417 + 1))
+		useTST := seed%2 == 0
+		p := randParallelProgram(rng, 3+rng.Intn(3), 8+rng.Intn(9), useTST)
+		ref, err := interp.Run(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, tus := range []int{1, 3, 8} {
+			cfg := cfgTU(tus)
+			if seed%3 == 0 {
+				cfg.WrongThreadExec = true
+				cfg.Core.WrongPathExec = true
+				cfg.Mem.Side = mem.SideWEC
+			}
+			r := runMachine(t, cfg, p)
+			if r.MemCheck != ref.MemCheck {
+				t.Fatalf("seed %d, %d TUs (tst=%v): machine %#x, interp %#x",
+					seed, tus, useTST, r.MemCheck, ref.MemCheck)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package sta
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// TestSequentialUpdateCoherenceDuringRun: a sequential phase stores to a
+// block that an idle TU still caches from the previous region; the update
+// protocol must refresh it without invalidating (§3.2.2), and the next
+// region's read must see the new value.
+func TestSequentialUpdateCoherenceDuringRun(t *testing.T) {
+	const n = 8
+	b := asm.New()
+	arr := b.Alloc("arr", 8*(n+80), 0)
+	for i := 0; i < n; i++ {
+		b.InitWord(arr+uint64(8*i), int64(i))
+	}
+	b.Li(25, 0) // outer counter
+	b.Label("outer")
+	b.Li(1, 0)
+	b.Li(2, n)
+	b.Li(3, int64(arr))
+	b.Begin(1, 2, 3, 25)
+	b.Label("body")
+	b.Op3(isa.ADD, 9, 1, 0)
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Fork("body")
+	b.Tsagd()
+	b.OpI(isa.SLLI, 5, 9, 3)
+	b.Op3(isa.ADD, 5, 5, 3)
+	b.Ld(6, 0, 5)
+	b.OpI(isa.ADDI, 6, 6, 10)
+	b.St(6, 0, 5)
+	b.Br(isa.BLT, 1, 2, "cont")
+	b.Abort()
+	b.Jmp("after")
+	b.Label("cont")
+	b.Thend()
+	b.Label("after")
+	// Sequential phase: overwrite arr[0] directly — other TUs still cache
+	// that block from the region.
+	b.Li(10, 1000)
+	b.St(10, 0, 3)
+	b.OpI(isa.ADDI, 25, 25, 1)
+	b.Li(26, 3)
+	b.Br(isa.BLT, 25, 26, "outer")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfgTU(4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemCheck != ref.MemCheck {
+		t.Fatalf("checksum %#x, interp %#x", r.MemCheck, ref.MemCheck)
+	}
+	if m.Hierarchy().UpdateBus == 0 {
+		t.Error("no update-coherence bus traffic recorded")
+	}
+}
+
+// TestWrongThreadsStalledAtGateDieAtBegin: a wrong thread whose TSAG-chain
+// flag never arrives (its predecessor retired or resumed) must not wedge
+// the machine; the next BEGIN kills it.
+func TestWrongThreadsStalledAtGateDieAtBegin(t *testing.T) {
+	// The repeated-regions program with wth exercises this; success is
+	// simply termination with the right answer.
+	const n, outer = 16, 3
+	b := asm.New()
+	arr := b.Alloc("arr", 8*(n+80), 0)
+	b.Li(25, 0)
+	b.Label("outer")
+	b.Li(1, 0)
+	b.Li(2, n)
+	b.Li(3, int64(arr))
+	b.Begin(1, 2, 3, 25)
+	b.Label("body")
+	b.Op3(isa.ADD, 9, 1, 0)
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Fork("body")
+	b.Tsagd()
+	b.OpI(isa.SLLI, 5, 9, 3)
+	b.Op3(isa.ADD, 5, 5, 3)
+	b.Ld(6, 0, 5)
+	b.OpI(isa.ADDI, 6, 6, 1)
+	b.St(6, 0, 5)
+	b.Br(isa.BLT, 1, 2, "cont")
+	b.Abort()
+	b.Jmp("after")
+	b.Label("cont")
+	b.Thend()
+	b.Label("after")
+	b.OpI(isa.ADDI, 25, 25, 1)
+	b.Li(26, outer)
+	b.Br(isa.BLT, 25, 26, "outer")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := interp.Run(p)
+	cfg := cfgTU(8)
+	cfg.WrongThreadExec = true
+	cfg.Core.WrongPathExec = true
+	cfg.Mem.Side = mem.SideWEC
+	cfg.MaxCycles = 5_000_000
+	r := runMachine(t, cfg, p)
+	if r.MemCheck != ref.MemCheck {
+		t.Fatal("checksum mismatch")
+	}
+	// arr[i] must equal i's initial value (0) + outer increments.
+	if got := r.Stats.Aborts; got != outer {
+		t.Errorf("aborts = %d, want %d", got, outer)
+	}
+}
+
+// TestMemBufOverflowSurfaces: a thread with more buffered stores than the
+// 128-entry speculative memory buffer must still complete correctly while
+// the overflow statistic records the violation.
+func TestMemBufOverflowSurfaces(t *testing.T) {
+	const stores = 200
+	b := asm.New()
+	arr := b.Alloc("arr", 8*(stores+600), 0)
+	b.Li(1, 0)
+	b.Li(2, 1) // single-iteration region
+	b.Li(3, int64(arr))
+	b.Begin(1, 2, 3)
+	b.Label("body")
+	b.Op3(isa.ADD, 9, 1, 0)
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Fork("body")
+	b.Tsagd()
+	for i := 0; i < stores; i++ {
+		b.Li(6, int64(i))
+		b.St(6, int64(8*i), 3)
+	}
+	b.Br(isa.BLT, 1, 2, "cont")
+	b.Abort()
+	b.Jmp("after")
+	b.Label("cont")
+	b.Thend()
+	b.Label("after")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := interp.Run(p)
+	cfg := cfgTU(2)
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemCheck != ref.MemCheck {
+		t.Fatal("results diverged")
+	}
+	if m.mbOverflows == 0 {
+		t.Error("memory buffer overflow not counted")
+	}
+}
+
+// TestFP registers are not forwarded at fork: a body that reads an FP
+// register set before the region gets poison, and the checksum test would
+// catch it — here we verify the poison is actually delivered.
+func TestFPNotForwardedAtFork(t *testing.T) {
+	b := asm.New()
+	out := b.Alloc("out", 8*90, 0)
+	b.Fli(1, 2.5) // set before the region; NOT forwarded
+	b.Li(1, 0)
+	b.Li(2, 2)
+	b.Li(3, int64(out))
+	b.Begin(1, 2, 3)
+	b.Label("body")
+	b.Op3(isa.ADD, 9, 1, 0)
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Fork("body")
+	b.Tsagd()
+	// Store f1's bits: iteration 0 (head, kept its FP file) sees 2.5;
+	// iteration 1 (forked) must see poison, NOT 2.5.
+	b.OpI(isa.SLLI, 5, 9, 3)
+	b.Op3(isa.ADD, 5, 5, 3)
+	b.Fst(1, 0, 5)
+	b.Br(isa.BLT, 1, 2, "cont")
+	b.Abort()
+	b.Jmp("after")
+	b.Label("cont")
+	b.Thend()
+	b.Label("after")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfgTU(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := m.Image().ReadFloat(out)
+	forked := m.Image().ReadWord(out + 8)
+	if head != 2.5 {
+		t.Errorf("head thread f1 = %g, want 2.5", head)
+	}
+	if forked == int64(4612811918334230528) /* bits of 2.5 */ {
+		t.Error("forked thread silently inherited an unforwarded FP register")
+	}
+	_ = r
+}

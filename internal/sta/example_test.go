@@ -1,0 +1,59 @@
+package sta_test
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/config"
+	"repro/internal/sta"
+)
+
+// Example runs a textual thread-pipelined program on a 4-TU machine in the
+// wth-wp-wec configuration and reports the result plus the paper's key
+// counters.
+func Example() {
+	prog, err := asm.Parse(`
+		.data arr 720 64
+		li r1, 0
+		li r2, 16
+		li r3, &arr
+		begin r1, r2, r3
+	body:
+		add  r9, r1, r0
+		addi r1, r1, 1
+		fork body
+		tsagd
+		slli r5, r9, 3
+		add  r5, r5, r3
+		st   r9, 0(r5)
+		blt  r1, r2, cont
+		abort
+		jmp  after
+	cont:
+		thend
+	after:
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	cfg := config.Main(4)
+	if err := config.Apply(config.WTHWPWEC, &cfg); err != nil {
+		panic(err)
+	}
+	m, err := sta.New(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("forks:", res.Stats.Forks)
+	fmt.Println("aborts:", res.Stats.Aborts)
+	fmt.Println("arr[7]:", m.Image().ReadWord(uint64(prog.Symbols["arr"])+56))
+	// Output:
+	// forks: 15
+	// aborts: 1
+	// arr[7]: 7
+}

@@ -1,0 +1,319 @@
+package sta
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memimg"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config describes a whole superthreaded machine.
+type Config struct {
+	NumTUs int
+	Core   core.Config
+	Mem    mem.Config
+
+	// ForkDelay is the fixed cost of initiating a thread (§4.1: 4 cycles);
+	// TransferPerValue is the additional cost per forwarded register.
+	ForkDelay        int
+	TransferPerValue int
+
+	// MemBufEntries sizes the speculative memory buffer (§4.1: 128).
+	MemBufEntries int
+
+	// WrongThreadExec marks aborted successors wrong instead of killing
+	// them (wth configurations).
+	WrongThreadExec bool
+
+	// MaxCycles bounds a run; exceeded means deadlock or runaway.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the §5.2 default machine: eight 8-issue thread
+// units with 8 KB direct-mapped L1 data caches.
+func DefaultConfig() Config {
+	return Config{
+		NumTUs:           8,
+		Core:             core.DefaultConfig(),
+		Mem:              mem.DefaultConfig(),
+		ForkDelay:        4,
+		TransferPerValue: 2,
+		MemBufEntries:    128,
+		MaxCycles:        500_000_000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumTUs <= 0 || c.NumTUs > 63 {
+		return fmt.Errorf("sta: NumTUs %d out of range [1,63]", c.NumTUs)
+	}
+	if c.ForkDelay < 0 || c.TransferPerValue < 0 {
+		return fmt.Errorf("sta: negative fork costs")
+	}
+	if c.MemBufEntries <= 0 {
+		return fmt.Errorf("sta: memory buffer must have entries")
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	return c.Mem.Validate()
+}
+
+// tuState is a thread unit's lifecycle state.
+type tuState uint8
+
+const (
+	tuIdle    tuState = iota
+	tuRun             // core executing (sequential or thread body)
+	tuWBWait          // body finished; waiting to become the oldest thread
+	tuWBDrain         // draining the memory buffer to the caches
+)
+
+// pendingFork is a committed FORK waiting for its target TU and delay.
+type pendingFork struct {
+	fromTU    int
+	target    int
+	mask      int64
+	regs      [isa.NumIntRegs]int64
+	parentGen uint64 // thread identity of the forking thread
+	startAt   uint64 // 0 = not yet scheduled (target TU busy)
+}
+
+// Result summarizes one complete program run on the machine.
+type Result struct {
+	Stats    stats.Sim
+	MemCheck uint64
+	IntRegs  [isa.NumIntRegs]int64 // architectural registers of the halting TU
+}
+
+// Machine is one superthreaded processor executing one program.
+type Machine struct {
+	// Trace, when non-nil, receives thread-lifecycle events.
+	Trace trace.Tracer
+
+	cfg  Config
+	prog *isa.Program
+	img  *memimg.Image
+	hier *mem.Hierarchy
+	tus  []*threadUnit
+
+	cycle      uint64
+	halted     bool
+	inParallel bool
+	regionMask int64
+	pending    *pendingFork
+	seqLoops   bool
+
+	parCycles    uint64
+	forks        uint64
+	aborts       uint64
+	wrongThreads uint64
+	mbOverflows  uint64
+}
+
+// New builds a machine for the given program.
+func New(cfg Config, prog *isa.Program) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(cfg.NumTUs, cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	img := memimg.New()
+	asm.LoadData(prog, img)
+	m := &Machine{
+		cfg:      cfg,
+		prog:     prog,
+		img:      img,
+		hier:     hier,
+		seqLoops: cfg.NumTUs == 1,
+	}
+	ccfg := cfg.Core
+	ccfg.SeqLoops = m.seqLoops
+	for id := 0; id < cfg.NumTUs; id++ {
+		tu := newThreadUnit(m, id)
+		c, err := core.New(ccfg, prog, hier.IUnit(id), tu, tu)
+		if err != nil {
+			return nil, err
+		}
+		tu.core = c
+		m.tus = append(m.tus, tu)
+	}
+	return m, nil
+}
+
+// Hierarchy exposes the memory system (stats, tests).
+func (m *Machine) Hierarchy() *mem.Hierarchy { return m.hier }
+
+// Image exposes the functional memory.
+func (m *Machine) Image() *memimg.Image { return m.img }
+
+// Cycle returns the current cycle count.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Run executes the program to completion and returns aggregate results.
+func (m *Machine) Run() (*Result, error) {
+	m.tus[0].startMain()
+	for !m.halted {
+		if m.cycle >= m.cfg.MaxCycles {
+			return nil, fmt.Errorf("sta: exceeded %d cycles (deadlock or runaway) at pc states %s",
+				m.cfg.MaxCycles, m.debugState())
+		}
+		m.step()
+	}
+	// Drain: let outstanding wrong threads disappear with the machine; the
+	// program result is already architectural.
+	return m.result(), nil
+}
+
+// step advances the whole machine one cycle.
+func (m *Machine) step() {
+	m.hier.BeginCycle(m.cycle)
+	for _, tu := range m.tus {
+		tu.step(m.cycle)
+	}
+	m.tryStartPending()
+	m.hier.Tick(m.cycle)
+	if m.inParallel {
+		m.parCycles++
+	}
+	m.cycle++
+}
+
+// tryStartPending launches a waiting fork once its target TU is idle and
+// the fork+transfer delay has elapsed.
+func (m *Machine) tryStartPending() {
+	pf := m.pending
+	if pf == nil {
+		return
+	}
+	target := (pf.fromTU + 1) % m.cfg.NumTUs
+	tu := m.tus[target]
+	if tu.state != tuIdle {
+		return
+	}
+	if pf.startAt == 0 {
+		nvals := bits.OnesCount64(uint64(pf.mask))
+		pf.startAt = m.cycle + uint64(m.cfg.ForkDelay+m.cfg.TransferPerValue*nvals)
+		return
+	}
+	if m.cycle < pf.startAt {
+		return
+	}
+	m.pending = nil
+	m.startThread(pf, tu)
+}
+
+// startThread begins a forked thread on an idle TU. If the forking thread
+// has already retired (its write-back completed before this thread could
+// start), the new thread is the oldest live thread: its predecessor's
+// stores are all in memory and no TSAG flag is owed.
+func (m *Machine) startThread(pf *pendingFork, tu *threadUnit) {
+	parent := m.tus[pf.fromTU]
+	parentLive := parent.gen == pf.parentGen
+	tu.gen++
+	tu.state = tuRun
+	tu.parMode = true
+	tu.wrong = parentLive && parent.wrong
+	tu.abortResume = -1
+	tu.memBuf.reset()
+	tu.tsagDone = false
+	tu.tsagChainDone = false
+	tu.predChainAt = 0
+	tu.hasPredFlag = false
+	tu.ownTargets = make(map[uint64]*mbEntry)
+	tu.succ = -1
+	if parentLive {
+		// Link into the thread chain and inherit dependence state.
+		tu.pred = pf.fromTU
+		parent.succ = tu.id
+		hop := uint64(m.cfg.TransferPerValue)
+		tu.memBuf.inheritFrom(parent.memBuf, parent.ownTargets, m.cycle, hop)
+		// If the parent's TSAG chain is already complete, the flag is en route.
+		if parent.tsagChainDone {
+			tu.hasPredFlag = true
+			tu.predChainAt = m.cycle + hop
+		}
+	} else {
+		tu.pred = -1
+	}
+	tu.core.StartThread(pf.target, pf.mask, &pf.regs, tu.wrong)
+	m.forks++
+	m.emit(tu.id, trace.ThreadStart, int64(pf.target))
+}
+
+// emit sends a trace event if a tracer is attached.
+func (m *Machine) emit(tuID int, kind trace.Kind, arg int64) {
+	if m.Trace != nil {
+		m.Trace.Event(trace.Event{Cycle: m.cycle, TU: tuID, Kind: kind, Arg: arg})
+	}
+}
+
+// successorsOf walks the thread chain strictly after tu.
+func (m *Machine) successorsOf(tu *threadUnit) []*threadUnit {
+	var out []*threadUnit
+	seen := 0
+	for id := tu.succ; id >= 0 && seen < m.cfg.NumTUs; id = m.tus[id].succ {
+		out = append(out, m.tus[id])
+		seen++
+	}
+	return out
+}
+
+// result gathers final statistics.
+func (m *Machine) result() *Result {
+	r := &Result{MemCheck: m.img.Checksum()}
+	s := &r.Stats
+	s.Cycles = m.cycle
+	s.ParCycles = m.parCycles
+	s.Forks = m.forks
+	s.Aborts = m.aborts
+	s.WrongThreads = m.wrongThreads
+	for _, tu := range m.tus {
+		cs := tu.core.Stats
+		s.Commits += cs.Commits
+		s.Branches += cs.Branches
+		s.Mispredicts += cs.Mispredicts
+		s.WrongPathLoads += cs.WrongPathLoadsIssued
+		du := m.hier.DUnit(tu.id)
+		s.L1DAccesses += du.Accesses
+		s.L1DMisses += du.Misses
+		s.L1DTraffic += du.Traffic
+		s.WrongLoads += du.WrongAcc
+		if du.WrongAcc >= cs.WrongPathLoadsIssued {
+			s.WrongThLoads += du.WrongAcc - cs.WrongPathLoadsIssued
+		}
+		s.WECHits += du.SideHits
+		s.WECInserts += du.SideInserts
+		s.WrongUseful += du.WrongUseful
+		s.PrefIssued += du.PrefIssued
+		s.PrefUseful += du.PrefUseful
+		s.ParCommits += tu.parCommits
+	}
+	s.L2Accesses = m.hier.L2Accesses
+	s.L2Misses = m.hier.L2Misses
+	s.MemAccesses = m.hier.DRAMFills
+	s.UpdateTraffic = m.hier.UpdateBus
+	for _, tu := range m.tus {
+		if tu.halted {
+			r.IntRegs = tu.core.IntRegs
+		}
+	}
+	return r
+}
+
+func (m *Machine) debugState() string {
+	out := ""
+	for _, tu := range m.tus {
+		out += fmt.Sprintf("[tu%d st=%d wrong=%v run=%v] ", tu.id, tu.state, tu.wrong, tu.core.Running())
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package sta implements the superthreaded architecture: a ring of thread
+// units (out-of-order cores from package core) executing loop iterations
+// under the thread-pipelining model — continuation, TSAG, computation, and
+// write-back stages — with run-time data dependence checking through
+// per-thread speculative memory buffers and target-store forwarding over a
+// unidirectional communication ring.
+//
+// The package also implements the paper's two wrong-execution modes:
+// wrong-path load continuation lives in package core; wrong-thread
+// execution (§3.1.2) lives here — on an abort, speculative successor
+// threads are marked wrong instead of killed, keep executing (their loads
+// tagged wrong for the memory system), cannot fork, and kill themselves at
+// their own abort/thread-end or at the next parallel region's BEGIN.
+package sta
+
+import "repro/internal/memimg"
+
+// mbEntry is one upstream slot of a speculative memory buffer: a
+// target-store address announced by an upstream thread, optionally carrying
+// its data once the upstream target store commits. AvailAt models the
+// unidirectional-ring transfer delay (two cycles per value per hop).
+type mbEntry struct {
+	hasVal  bool
+	val     int64
+	availAt uint64
+}
+
+// ownStore is a committed store of this thread, buffered until write-back.
+type ownStore struct {
+	addr uint64
+	val  int64
+}
+
+// memBuf is one thread's speculative memory buffer (§2.1: fully
+// associative, 128 entries in the paper). Capacity is tracked as a
+// statistic: workloads are sized to fit, and Overflows flags violations.
+type memBuf struct {
+	capacity int
+	upstream map[uint64]*mbEntry
+	ownIdx   map[uint64]int // addr -> index into own (latest store wins)
+	own      []ownStore
+
+	Overflows uint64
+}
+
+func newMemBuf(capacity int) *memBuf {
+	return &memBuf{
+		capacity: capacity,
+		upstream: make(map[uint64]*mbEntry),
+		ownIdx:   make(map[uint64]int),
+	}
+}
+
+func (m *memBuf) reset() {
+	m.upstream = make(map[uint64]*mbEntry)
+	m.ownIdx = make(map[uint64]int)
+	m.own = m.own[:0]
+}
+
+func (m *memBuf) size() int { return len(m.upstream) + len(m.ownIdx) }
+
+func (m *memBuf) checkCapacity() {
+	if m.size() > m.capacity {
+		m.Overflows++
+	}
+}
+
+// announce records an upstream target-store address (TSA), visible to
+// dependence checking from availAt.
+func (m *memBuf) announce(addr uint64, availAt uint64) {
+	if e, ok := m.upstream[addr]; ok {
+		if availAt < e.availAt {
+			e.availAt = availAt
+		}
+		return
+	}
+	m.upstream[addr] = &mbEntry{availAt: availAt}
+	m.checkCapacity()
+}
+
+// deliver records upstream target-store data (TST) for addr.
+func (m *memBuf) deliver(addr uint64, val int64, availAt uint64) {
+	e, ok := m.upstream[addr]
+	if !ok {
+		e = &mbEntry{}
+		m.upstream[addr] = e
+		m.checkCapacity()
+	}
+	e.hasVal = true
+	e.val = val
+	if availAt > e.availAt {
+		e.availAt = availAt
+	}
+}
+
+// writeOwn buffers a committed store of this thread.
+func (m *memBuf) writeOwn(addr uint64, val int64) {
+	if i, ok := m.ownIdx[addr]; ok {
+		m.own[i].val = val
+		return
+	}
+	m.ownIdx[addr] = len(m.own)
+	m.own = append(m.own, ownStore{addr: addr, val: val})
+	m.checkCapacity()
+}
+
+// lookupStatus is the outcome of a dependence check for a load.
+type lookupStatus uint8
+
+const (
+	mbMiss  lookupStatus = iota // not in the buffer: go to the cache
+	mbHit                       // value available now
+	mbStall                     // announced upstream, data not yet here
+)
+
+// lookup performs the run-time dependence check for a load at cycle.
+func (m *memBuf) lookup(addr uint64, cycle uint64) (int64, lookupStatus) {
+	if i, ok := m.ownIdx[addr]; ok {
+		return m.own[i].val, mbHit
+	}
+	if e, ok := m.upstream[addr]; ok {
+		if !e.hasVal || cycle < e.availAt {
+			return 0, mbStall
+		}
+		return e.val, mbHit
+	}
+	return 0, mbMiss
+}
+
+// inheritFrom seeds a freshly forked thread's buffer with everything its
+// parent knows: the parent's upstream entries (including in-flight ones,
+// availability preserved) and the parent's own announced target stores.
+// This closes the fork/forward race without modelling per-link queues.
+func (m *memBuf) inheritFrom(parent *memBuf, parentTargets map[uint64]*mbEntry, forkAt uint64, hopDelay uint64) {
+	for addr, e := range parent.upstream {
+		avail := e.availAt + hopDelay
+		if avail < forkAt {
+			avail = forkAt
+		}
+		ne := &mbEntry{hasVal: e.hasVal, val: e.val, availAt: avail}
+		m.upstream[addr] = ne
+	}
+	for addr, e := range parentTargets {
+		avail := forkAt + hopDelay
+		ne := &mbEntry{hasVal: e.hasVal, val: e.val, availAt: avail}
+		m.upstream[addr] = ne
+	}
+	m.checkCapacity()
+}
+
+// drainOne pops the oldest buffered own store for write-back. ok reports
+// whether a store was available.
+func (m *memBuf) drainOne() (ownStore, bool) {
+	if len(m.own) == 0 {
+		return ownStore{}, false
+	}
+	s := m.own[0]
+	m.own = m.own[1:]
+	// Rebuild index lazily: only delete if it points at the popped slot.
+	if i, ok := m.ownIdx[s.addr]; ok && i == 0 {
+		delete(m.ownIdx, s.addr)
+	}
+	for a, i := range m.ownIdx {
+		m.ownIdx[a] = i - 1
+		_ = a
+	}
+	return s, true
+}
+
+// pendingStores reports how many own stores await write-back.
+func (m *memBuf) pendingStores() int { return len(m.own) }
+
+// drainAllTo writes every buffered store to the image immediately
+// (functional effect only; timing is charged by the caller).
+func (m *memBuf) drainAllTo(img *memimg.Image) int {
+	n := len(m.own)
+	for _, s := range m.own {
+		img.WriteWord(s.addr, s.val)
+	}
+	m.own = m.own[:0]
+	m.ownIdx = make(map[uint64]int)
+	return n
+}

@@ -1,0 +1,167 @@
+package sta
+
+import (
+	"testing"
+
+	"repro/internal/memimg"
+)
+
+func TestMemBufOwnStore(t *testing.T) {
+	m := newMemBuf(8)
+	m.writeOwn(0x100, 7)
+	v, st := m.lookup(0x100, 0)
+	if st != mbHit || v != 7 {
+		t.Fatalf("lookup = %d,%v", v, st)
+	}
+	// Overwrite keeps a single slot.
+	m.writeOwn(0x100, 9)
+	if m.pendingStores() != 1 {
+		t.Errorf("pendingStores = %d", m.pendingStores())
+	}
+	v, _ = m.lookup(0x100, 0)
+	if v != 9 {
+		t.Errorf("overwritten value = %d", v)
+	}
+}
+
+func TestMemBufAnnounceStallsUntilDelivered(t *testing.T) {
+	m := newMemBuf(8)
+	m.announce(0x200, 10)
+	if _, st := m.lookup(0x200, 20); st != mbStall {
+		t.Fatal("announced-but-undelivered entry should stall")
+	}
+	m.deliver(0x200, 42, 15)
+	if _, st := m.lookup(0x200, 12); st != mbStall {
+		t.Fatal("entry should stall before availability cycle")
+	}
+	v, st := m.lookup(0x200, 15)
+	if st != mbHit || v != 42 {
+		t.Fatalf("lookup after delivery = %d,%v", v, st)
+	}
+}
+
+func TestMemBufMiss(t *testing.T) {
+	m := newMemBuf(8)
+	if _, st := m.lookup(0x300, 0); st != mbMiss {
+		t.Fatal("empty buffer should miss")
+	}
+}
+
+func TestMemBufOwnWinsOverUpstream(t *testing.T) {
+	m := newMemBuf(8)
+	m.announce(0x400, 0)
+	m.deliver(0x400, 1, 0)
+	m.writeOwn(0x400, 2)
+	v, st := m.lookup(0x400, 100)
+	if st != mbHit || v != 2 {
+		t.Fatalf("own store must win: %d,%v", v, st)
+	}
+}
+
+func TestMemBufDrainOrder(t *testing.T) {
+	m := newMemBuf(8)
+	m.writeOwn(0x10, 1)
+	m.writeOwn(0x20, 2)
+	m.writeOwn(0x30, 3)
+	var addrs []uint64
+	for {
+		s, ok := m.drainOne()
+		if !ok {
+			break
+		}
+		addrs = append(addrs, s.addr)
+	}
+	if len(addrs) != 3 || addrs[0] != 0x10 || addrs[1] != 0x20 || addrs[2] != 0x30 {
+		t.Errorf("drain order = %#v", addrs)
+	}
+	if m.pendingStores() != 0 {
+		t.Error("stores remain after drain")
+	}
+}
+
+func TestMemBufDrainAfterOverwrite(t *testing.T) {
+	m := newMemBuf(8)
+	m.writeOwn(0x10, 1)
+	m.writeOwn(0x20, 2)
+	m.writeOwn(0x10, 5) // overwrite in place
+	s, _ := m.drainOne()
+	if s.addr != 0x10 || s.val != 5 {
+		t.Errorf("drained %+v, want latest value at original position", s)
+	}
+	// A new write after partial drain still works.
+	m.writeOwn(0x30, 3)
+	s, _ = m.drainOne()
+	if s.addr != 0x20 {
+		t.Errorf("second drain = %+v", s)
+	}
+	s, _ = m.drainOne()
+	if s.addr != 0x30 || s.val != 3 {
+		t.Errorf("third drain = %+v", s)
+	}
+}
+
+func TestMemBufDrainAllTo(t *testing.T) {
+	m := newMemBuf(8)
+	img := memimg.New()
+	m.writeOwn(0x40, 11)
+	m.writeOwn(0x48, 12)
+	if n := m.drainAllTo(img); n != 2 {
+		t.Errorf("drained %d", n)
+	}
+	if img.ReadWord(0x40) != 11 || img.ReadWord(0x48) != 12 {
+		t.Error("drainAllTo lost values")
+	}
+}
+
+func TestMemBufInherit(t *testing.T) {
+	parent := newMemBuf(8)
+	parent.announce(0x100, 5)
+	parent.deliver(0x100, 77, 6)
+	parent.announce(0x200, 5) // pending, no data
+	targets := map[uint64]*mbEntry{
+		0x300: {hasVal: true, val: 88},
+		0x400: {},
+	}
+	child := newMemBuf(8)
+	child.inheritFrom(parent, targets, 100, 2)
+	// Inherited delivered entry available no earlier than fork time.
+	if v, st := child.lookup(0x100, 100); st != mbHit || v != 77 {
+		t.Errorf("inherited upstream = %d,%v", v, st)
+	}
+	if _, st := child.lookup(0x200, 200); st != mbStall {
+		t.Error("inherited pending entry should stall")
+	}
+	// Parent's own targets become the child's upstream.
+	if _, st := child.lookup(0x300, 101); st != mbStall {
+		t.Error("parent target data should respect hop delay")
+	}
+	if v, st := child.lookup(0x300, 102); st != mbHit || v != 88 {
+		t.Errorf("parent target = %d,%v", v, st)
+	}
+	if _, st := child.lookup(0x400, 200); st != mbStall {
+		t.Error("parent pending target should stall")
+	}
+}
+
+func TestMemBufOverflowCounted(t *testing.T) {
+	m := newMemBuf(2)
+	m.writeOwn(0x10, 1)
+	m.writeOwn(0x20, 2)
+	if m.Overflows != 0 {
+		t.Fatal("premature overflow")
+	}
+	m.writeOwn(0x30, 3)
+	if m.Overflows == 0 {
+		t.Error("overflow not counted")
+	}
+}
+
+func TestMemBufReset(t *testing.T) {
+	m := newMemBuf(8)
+	m.writeOwn(0x10, 1)
+	m.announce(0x20, 0)
+	m.reset()
+	if m.size() != 0 || m.pendingStores() != 0 {
+		t.Error("reset incomplete")
+	}
+}

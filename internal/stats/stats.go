@@ -1,0 +1,233 @@
+// Package stats provides the counters gathered during simulation and the
+// derived metrics the paper reports: speedups relative to a baseline, and
+// the execution-time-weighted average speedup across a benchmark suite
+// (Lilja, "Measuring Computer Performance", the paper's reference [10]),
+// which gives each benchmark equal importance regardless of its length.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sim aggregates the counters of one simulation run.
+type Sim struct {
+	Cycles     uint64
+	Commits    uint64 // correct-path committed instructions
+	ParCycles  uint64 // cycles spent inside parallel regions
+	ParCommits uint64
+
+	Forks        uint64
+	Aborts       uint64
+	WrongThreads uint64 // threads marked wrong instead of killed
+
+	Branches    uint64 // committed conditional branches
+	Mispredicts uint64
+
+	// L1 data-cache behaviour, summed over thread units; correct-path
+	// demand accesses only, matching how the paper counts misses.
+	L1DAccesses uint64
+	L1DMisses   uint64
+	L1DTraffic  uint64 // all processor->L1 accesses incl. wrong execution
+
+	WrongLoads     uint64 // wrong-path + wrong-thread loads issued to memory
+	WrongPathLoads uint64
+	WrongThLoads   uint64
+
+	WECHits       uint64 // correct-path L1 misses that hit in the WEC
+	WrongUseful   uint64 // WEC hits on wrong-fetched blocks specifically
+	WECInserts    uint64
+	VCHits        uint64
+	PrefIssued    uint64 // prefetches issued (WEC next-line or NLP)
+	PrefUseful    uint64 // prefetched blocks later hit by correct path
+	L2Accesses    uint64
+	L2Misses      uint64
+	MemAccesses   uint64 // DRAM fills
+	UpdateTraffic uint64 // sequential-mode coherence updates on the shared bus
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Sim) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Commits) / float64(s.Cycles)
+}
+
+// L1DMissRate returns the correct-path L1 data miss ratio.
+func (s *Sim) L1DMissRate() float64 {
+	if s.L1DAccesses == 0 {
+		return 0
+	}
+	return float64(s.L1DMisses) / float64(s.L1DAccesses)
+}
+
+// BranchAccuracy returns the committed conditional-branch prediction rate.
+func (s *Sim) BranchAccuracy() float64 {
+	if s.Branches == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredicts)/float64(s.Branches)
+}
+
+// Add accumulates other into s (used to merge per-TU counters).
+func (s *Sim) Add(other *Sim) {
+	s.Cycles += other.Cycles
+	s.Commits += other.Commits
+	s.ParCycles += other.ParCycles
+	s.ParCommits += other.ParCommits
+	s.Forks += other.Forks
+	s.Aborts += other.Aborts
+	s.WrongThreads += other.WrongThreads
+	s.Branches += other.Branches
+	s.Mispredicts += other.Mispredicts
+	s.L1DAccesses += other.L1DAccesses
+	s.L1DMisses += other.L1DMisses
+	s.L1DTraffic += other.L1DTraffic
+	s.WrongLoads += other.WrongLoads
+	s.WrongPathLoads += other.WrongPathLoads
+	s.WrongThLoads += other.WrongThLoads
+	s.WECHits += other.WECHits
+	s.WrongUseful += other.WrongUseful
+	s.WECInserts += other.WECInserts
+	s.VCHits += other.VCHits
+	s.PrefIssued += other.PrefIssued
+	s.PrefUseful += other.PrefUseful
+	s.L2Accesses += other.L2Accesses
+	s.L2Misses += other.L2Misses
+	s.MemAccesses += other.MemAccesses
+	s.UpdateTraffic += other.UpdateTraffic
+}
+
+// Speedup returns baselineCycles/cycles: >1 means faster than baseline.
+func Speedup(baselineCycles, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(baselineCycles) / float64(cycles)
+}
+
+// RelativeSpeedupPct returns the percentage improvement over a baseline,
+// the form used by the paper's figures (e.g. +9.7%).
+func RelativeSpeedupPct(baselineCycles, cycles uint64) float64 {
+	return (Speedup(baselineCycles, cycles) - 1) * 100
+}
+
+// WeightedAverageSpeedup computes the execution-time weighted average of
+// per-benchmark speedups: total baseline time over total optimized time,
+// with each benchmark's baseline normalized to 1 so every benchmark counts
+// equally. This is the harmonic-style mean of speedups the paper uses.
+func WeightedAverageSpeedup(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 0
+	}
+	var denom float64
+	for _, s := range speedups {
+		if s <= 0 {
+			return 0
+		}
+		denom += 1 / s
+	}
+	return float64(len(speedups)) / denom
+}
+
+// Pct formats a ratio change as a signed percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", v) }
+
+// Table renders rows with aligned columns for harness output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// SortedKeys returns the keys of m in sorted order (deterministic output).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CSV renders the table as RFC-4180-style comma-separated values, quoting
+// cells that contain commas or quotes.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// JSON renders the table as a JSON object {"header":[...],"rows":[[...]]}.
+func (t *Table) JSON() (string, error) {
+	out, err := json.Marshal(struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Header, t.Rows})
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/mem"
+	"repro/internal/sta"
+)
+
+// machineCfg builds an sta config for the given TU count and variant.
+func machineCfg(tus int, mut func(*sta.Config)) sta.Config {
+	cfg := sta.DefaultConfig()
+	cfg.NumTUs = tus
+	cfg.MaxCycles = 200_000_000
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}
+
+// TestMachineMatchesInterp is the load-bearing integration test: every
+// kernel, on a parallel machine in both the baseline and the full
+// wrong-execution + WEC configuration, must produce the interpreter's exact
+// architectural memory image.
+func TestMachineMatchesInterp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine workload runs are slow")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Short, func(t *testing.T) {
+			t.Parallel()
+			p, err := w.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := interp.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, variant := range []string{"orig", "wec"} {
+				cfg := machineCfg(4, nil)
+				if variant == "wec" {
+					cfg.WrongThreadExec = true
+					cfg.Core.WrongPathExec = true
+					cfg.Mem.Side = mem.SideWEC
+				}
+				m, err := sta.New(cfg, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := m.Run()
+				if err != nil {
+					t.Fatalf("%s/%s: %v", w.Short, variant, err)
+				}
+				if r.MemCheck != ref.MemCheck {
+					t.Errorf("%s/%s: machine checksum %#x, interp %#x",
+						w.Short, variant, r.MemCheck, ref.MemCheck)
+				}
+			}
+		})
+	}
+}

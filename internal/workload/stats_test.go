@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestKernelsUseSTAPrimitivesProperly statically inspects every kernel's
+// binary: exactly one FORK per region body, a TSAGD between fork and the
+// first load of each body, and an ABORT on the exit path.
+func TestKernelsUseSTAPrimitivesProperly(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Short, func(t *testing.T) {
+			p, err := w.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var forks, tsagds, aborts, thends, begins int
+			for _, in := range p.Insts {
+				switch in.Op {
+				case isa.FORK:
+					forks++
+				case isa.TSAGD:
+					tsagds++
+				case isa.ABORT:
+					aborts++
+				case isa.THEND:
+					thends++
+				case isa.BEGIN:
+					begins++
+				}
+			}
+			if begins != 1 || forks != 1 || tsagds != 1 || aborts != 1 || thends != 1 {
+				t.Errorf("STA ops: begin=%d fork=%d tsagd=%d abort=%d thend=%d (each static op should appear once)",
+					begins, forks, tsagds, aborts, thends)
+			}
+			// Every FORK targets an instruction, in range.
+			for _, in := range p.Insts {
+				if in.Op == isa.FORK && (in.Imm < 0 || in.Imm >= int64(len(p.Insts))) {
+					t.Errorf("fork target %d out of range", in.Imm)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelMemoryAccessesAligned: every static memory instruction uses an
+// 8-byte-aligned displacement, the workload discipline that makes exact
+// store-to-load forwarding sufficient.
+func TestKernelMemoryAccessesAligned(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Short, func(t *testing.T) {
+			p, err := w.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pc, in := range p.Insts {
+				if in.Op.IsMem() && in.Imm%8 != 0 {
+					t.Errorf("pc %d: %v has unaligned displacement %d", pc, in, in.Imm)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelDataSymbols: every kernel exports the symbols the tests and
+// tools rely on.
+func TestKernelDataSymbols(t *testing.T) {
+	for _, w := range All() {
+		p, err := w.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := p.Symbols["result"]; !ok {
+			t.Errorf("%s: missing result symbol", w.Short)
+		}
+		if _, ok := p.Symbols["scratch"]; !ok {
+			t.Errorf("%s: missing scratch symbol", w.Short)
+		}
+	}
+}
+
+// TestWorkloadsDeterministic: building twice yields identical programs.
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		p1, err := w.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := w.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p1.Insts) != len(p2.Insts) {
+			t.Fatalf("%s: nondeterministic instruction count", w.Short)
+		}
+		for i := range p1.Insts {
+			if p1.Insts[i] != p2.Insts[i] {
+				t.Fatalf("%s: instruction %d differs between builds", w.Short, i)
+			}
+		}
+	}
+}
