@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/sta"
 	"repro/internal/workload"
 )
@@ -50,7 +51,7 @@ func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
 // These measure the simulator itself (simulated cycles per wall second),
 // useful when working on the core or memory-system code.
 
-func benchSimulate(b *testing.B, bench string, cfgName config.Name, tus int) {
+func benchSimulate(b *testing.B, bench string, cfgName config.Name, tus int, interval uint64) {
 	w, err := workload.ByName(bench)
 	if err != nil {
 		b.Fatal(err)
@@ -70,6 +71,9 @@ func benchSimulate(b *testing.B, bench string, cfgName config.Name, tus int) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if interval > 0 {
+			m.Metrics = metrics.NewCollector(interval)
+		}
 		res, err := m.Run()
 		if err != nil {
 			b.Fatal(err)
@@ -80,8 +84,17 @@ func benchSimulate(b *testing.B, bench string, cfgName config.Name, tus int) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }
 
-func BenchmarkSimMcfOrig8TU(b *testing.B)   { benchSimulate(b, "mcf", config.Orig, 8) }
-func BenchmarkSimMcfWEC8TU(b *testing.B)    { benchSimulate(b, "mcf", config.WTHWPWEC, 8) }
-func BenchmarkSimEquakeWEC8TU(b *testing.B) { benchSimulate(b, "equake", config.WTHWPWEC, 8) }
-func BenchmarkSimGzipOrig1TU(b *testing.B)  { benchSimulate(b, "gzip", config.Orig, 1) }
-func BenchmarkSimParserNLP8TU(b *testing.B) { benchSimulate(b, "parser", config.NLP, 8) }
+func BenchmarkSimMcfOrig8TU(b *testing.B)   { benchSimulate(b, "mcf", config.Orig, 8, 0) }
+func BenchmarkSimMcfWEC8TU(b *testing.B)    { benchSimulate(b, "mcf", config.WTHWPWEC, 8, 0) }
+func BenchmarkSimEquakeWEC8TU(b *testing.B) { benchSimulate(b, "equake", config.WTHWPWEC, 8, 0) }
+func BenchmarkSimGzipOrig1TU(b *testing.B)  { benchSimulate(b, "gzip", config.Orig, 1, 0) }
+func BenchmarkSimParserNLP8TU(b *testing.B) { benchSimulate(b, "parser", config.NLP, 8, 0) }
+
+// BenchmarkSimMcfWEC8TUMetrics measures the overhead of a fully attached
+// metrics collector (registry + sampler + histograms, 10k-cycle interval).
+// Compare against BenchmarkSimMcfWEC8TU: the delta is the instrumentation
+// cost, which should stay within run-to-run noise for uninstrumented runs
+// and in the low single digits percent when attached.
+func BenchmarkSimMcfWEC8TUMetrics(b *testing.B) {
+	benchSimulate(b, "mcf", config.WTHWPWEC, 8, 10000)
+}

@@ -5,12 +5,19 @@
 //	experiments -list
 //	experiments -run fig11
 //	experiments -run all [-scale 2] [-workers 8] [-v]
+//
+// Observability (see README "Observability"):
+//
+//	experiments -run fig11 -v -interval 5000 -metrics-dir out/
+//	experiments -run all -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
@@ -24,8 +31,20 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "print per-simulation progress")
 		format  = flag.String("format", "table", "output format: table, csv, or json")
+
+		interval   = flag.Uint64("interval", 0, "metrics sampling interval in cycles (0 = off; needs -metrics-dir to export)")
+		metricsDir = flag.String("metrics-dir", "", "write one interval-series metrics JSON per simulation into this directory")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -43,6 +62,14 @@ func main() {
 	if *verbose {
 		r.Verbose = os.Stderr
 	}
+	if *metricsDir != "" {
+		if *interval == 0 {
+			*interval = 10000
+		}
+		fatal(os.MkdirAll(*metricsDir, 0o755))
+		r.MetricsDir = *metricsDir
+	}
+	r.MetricsInterval = *interval
 
 	exps := harness.All()
 	if *run != "all" {
@@ -55,6 +82,9 @@ func main() {
 	}
 	for _, e := range exps {
 		start := time.Now()
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
+		}
 		tbl, err := e.Run(r)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
@@ -76,5 +106,20 @@ func main() {
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		fmt.Print(tbl.String())
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		fatal(err)
+		runtime.GC()
+		fatal(pprof.WriteHeapProfile(f))
+		fatal(f.Close())
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -8,16 +8,24 @@
 //	stasim -file examples/program.sta -config wth-wp-wec
 //	stasim -bench gzip -disasm | head
 //	stasim -list
+//
+// Observability (see README "Observability"):
+//
+//	stasim -bench mcf -config wth-wp-wec -metrics m.json -timeline t.trace.json -interval 1000
+//	stasim -bench mcf -metrics-csv series.csv -interval 500
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/asm"
 	"repro/internal/config"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/sta"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -37,8 +45,22 @@ func main() {
 		disasm  = flag.Bool("disasm", false, "print the program listing instead of simulating")
 		doTrace = flag.Bool("trace", false, "stream thread-lifecycle events to stderr")
 		list    = flag.Bool("list", false, "list benchmarks and configurations")
+
+		metricsOut  = flag.String("metrics", "", "write metrics JSON (counters, interval series, histograms) to this file")
+		metricsCSV  = flag.String("metrics-csv", "", "write the interval time series as CSV to this file")
+		timelineOut = flag.String("timeline", "", "write a Perfetto/chrome://tracing trace JSON to this file")
+		interval    = flag.Uint64("interval", 10000, "sampling interval in cycles for the metrics time series")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		fmt.Println("benchmarks:")
@@ -92,8 +114,44 @@ func main() {
 	if *doTrace {
 		m.Trace = trace.Writer{W: os.Stderr}
 	}
+	var col *metrics.Collector
+	if *metricsOut != "" || *metricsCSV != "" || *timelineOut != "" {
+		sampleEvery := *interval
+		if *metricsOut == "" && *metricsCSV == "" {
+			sampleEvery = 0 // timeline only: no series needed
+		}
+		col = metrics.NewCollector(sampleEvery)
+		if *timelineOut != "" {
+			col.Timeline = metrics.NewTimeline()
+		}
+		m.Metrics = col
+	}
 	res, err := m.Run()
 	fatal(err)
+
+	if *metricsOut != "" {
+		fatal(writeFile(*metricsOut, func(f *os.File) error {
+			return col.WriteJSON(f, res.Stats.Cycles)
+		}))
+	}
+	if *metricsCSV != "" {
+		fatal(os.WriteFile(*metricsCSV, []byte(col.SeriesCSV()), 0o644))
+	}
+	if *timelineOut != "" {
+		fatal(writeFile(*timelineOut, func(f *os.File) error {
+			return col.Timeline.WriteJSON(f)
+		}))
+		if d := col.Timeline.Dropped; d > 0 {
+			fmt.Fprintf(os.Stderr, "timeline: %d events dropped past the %d-event cap\n",
+				d, metrics.DefaultMaxEvents)
+		}
+	}
+	if *memprofile != "" {
+		fatal(writeFile(*memprofile, func(f *os.File) error {
+			runtime.GC()
+			return pprof.WriteHeapProfile(f)
+		}))
+	}
 
 	s := &res.Stats
 	fmt.Printf("benchmark        %s\n", title)
@@ -124,6 +182,19 @@ func main() {
 func isLabel(p *isa.Program, name string) bool {
 	v := p.Symbols[name]
 	return v >= 0 && v < int64(len(p.Insts)) && v < asm.DataBase
+}
+
+// writeFile creates path and streams write's output into it.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 )
 
 // Config sizes one thread unit's pipeline (Table 3 / §5.2 resources).
@@ -217,8 +218,14 @@ type Core struct {
 
 	fuUsed [6]int // per FUClass, reset each cycle
 
+	// metrics, when non-nil, observes load-to-use distances at dispatch.
+	metrics *metrics.Collector
+
 	Stats Stats
 }
+
+// SetMetrics attaches (or detaches, with nil) an observability collector.
+func (c *Core) SetMetrics(m *metrics.Collector) { c.metrics = m }
 
 // New builds a core bound to a program, an instruction port, and memory.
 func New(cfg Config, prog *isa.Program, imem *mem.IUnit, dmem DMem, env Env) (*Core, error) {

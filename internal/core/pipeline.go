@@ -513,6 +513,9 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 	if use2 {
 		e.src2 = c.readOperand(r2, fp2)
 	}
+	if c.metrics != nil {
+		c.observeLoadUse(idx, e)
+	}
 
 	// Markers with no execution latency complete immediately at dispatch+1.
 	switch in.Op {
@@ -565,6 +568,20 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 		}
 	}
 	c.fetchPC = next
+}
+
+// observeLoadUse reports, for each source operand still waiting on an
+// in-flight load, the program-order distance (in instructions) from that
+// load to this consumer — the window the memory system has to hide the
+// load's latency. Called only when a metrics collector is attached.
+func (c *Core) observeLoadUse(idx int, e *robEntry) {
+	pos := func(slot int) int { return (slot - c.robHead + len(c.rob)) % len(c.rob) }
+	if e.use1 && !e.src1.ready && c.rob[e.src1.rob].inst.Op.IsLoad() {
+		c.metrics.ObserveLoadUse(uint64(pos(idx) - pos(e.src1.rob)))
+	}
+	if e.use2 && !e.src2.ready && c.rob[e.src2.rob].inst.Op.IsLoad() {
+		c.metrics.ObserveLoadUse(uint64(pos(idx) - pos(e.src2.rob)))
+	}
 }
 
 // readOperand resolves a source register to a value or a producer slot.

@@ -7,12 +7,16 @@ package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
 	"repro/internal/interp"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/sta"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -24,13 +28,25 @@ type Runner struct {
 	Scale int
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
 	Workers int
-	// Verbose, when non-nil, receives one line per completed simulation.
+	// Verbose, when non-nil, receives one progress line per completed
+	// simulation. Writes are serialized; any io.Writer is safe.
 	Verbose io.Writer
+
+	// MetricsInterval, when positive, attaches a metrics collector with
+	// an interval sampler of that many cycles to every simulation. Each
+	// run gets its own collector, so worker concurrency stays race-free.
+	MetricsInterval uint64
+	// MetricsDir, when set with MetricsInterval, receives one metrics
+	// JSON file per (benchmark, configuration) run.
+	MetricsDir string
 
 	mu      sync.Mutex
 	results map[string]*sta.Result
 	progs   map[string]*isa.Program
 	refs    map[string]*interp.Result
+
+	vmu       sync.Mutex
+	completed int
 }
 
 // NewRunner returns a Runner at the given workload scale.
@@ -124,6 +140,12 @@ func (r *Runner) Result(bench string, cfg sta.Config) (*sta.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var col *metrics.Collector
+	if r.MetricsInterval > 0 {
+		// Per-run collector: nothing is shared between workers.
+		col = metrics.NewCollector(r.MetricsInterval)
+		m.Metrics = col
+	}
 	res, err = m.Run()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", bench, err)
@@ -132,13 +154,39 @@ func (r *Runner) Result(bench string, cfg sta.Config) (*sta.Result, error) {
 		return nil, fmt.Errorf("harness: %s: architectural mismatch: machine %#x, reference %#x (configuration changed results)",
 			bench, res.MemCheck, ref.MemCheck)
 	}
+	if col != nil && r.MetricsDir != "" {
+		if err := r.writeMetrics(bench, k, col, res.Stats.Cycles); err != nil {
+			return nil, err
+		}
+	}
 	r.mu.Lock()
 	r.results[k] = res
 	r.mu.Unlock()
 	if r.Verbose != nil {
-		fmt.Fprintf(r.Verbose, "  done %-8s %d cycles\n", bench, res.Stats.Cycles)
+		r.vmu.Lock()
+		r.completed++
+		fmt.Fprintf(r.Verbose, "  [%3d] done %-8s %11d cycles\n", r.completed, bench, res.Stats.Cycles)
+		r.vmu.Unlock()
 	}
 	return res, nil
+}
+
+// writeMetrics exports one run's collector as JSON under MetricsDir. The
+// file name is the benchmark plus a short hash of the full machine
+// configuration, so sweep points do not collide.
+func (r *Runner) writeMetrics(bench, key string, col *metrics.Collector, cycles uint64) error {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	name := fmt.Sprintf("%s-%08x.json", bench, h.Sum32())
+	f, err := os.Create(filepath.Join(r.MetricsDir, name))
+	if err != nil {
+		return fmt.Errorf("harness: metrics export: %w", err)
+	}
+	if err := col.WriteJSON(f, cycles); err != nil {
+		f.Close()
+		return fmt.Errorf("harness: metrics export: %w", err)
+	}
+	return f.Close()
 }
 
 // batch runs all jobs concurrently, memoizing results.

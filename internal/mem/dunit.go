@@ -2,6 +2,7 @@ package mem
 
 import (
 	"repro/internal/cache"
+	"repro/internal/metrics"
 )
 
 // DUnit is one thread unit's data-side memory port: the private L1 data
@@ -18,6 +19,12 @@ type DUnit struct {
 
 	portsUsed int
 	requests  map[int64]*Request // outstanding, keyed by token
+
+	// metrics, when non-nil, observes access latencies and side-buffer
+	// promotion timeliness; sideInsertAt then tracks when each resident
+	// side-buffer block was inserted.
+	metrics      *metrics.Collector
+	sideInsertAt map[uint64]uint64
 
 	// Statistics (correct-path demand unless stated otherwise).
 	Accesses    uint64 // correct-path demand accesses
@@ -62,6 +69,14 @@ func (d *DUnit) L1() *cache.Cache { return d.l1 }
 // Side exposes the side buffer tag array (nil if none).
 func (d *DUnit) Side() *cache.Cache { return d.side }
 
+// SetMetrics attaches (or detaches, with nil) an observability collector.
+func (d *DUnit) SetMetrics(c *metrics.Collector) {
+	d.metrics = c
+	if c != nil && d.side != nil && d.sideInsertAt == nil {
+		d.sideInsertAt = make(map[uint64]uint64)
+	}
+}
+
 // CanAccept reports whether another access fits in this cycle's ports.
 func (d *DUnit) CanAccept() bool { return d.portsUsed < d.cfg.L1DPorts }
 
@@ -81,7 +96,7 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, wrong bool) *
 	d.portsUsed++
 	d.Traffic++
 	block := d.l1.BlockAddr(addr)
-	req := &Request{ID: d.h.nextID, Addr: addr, Kind: kind, Wrong: wrong}
+	req := &Request{ID: d.h.nextID, Addr: addr, Kind: kind, Wrong: wrong, Issued: cycle}
 	d.h.nextID++
 
 	if wrong {
@@ -110,6 +125,12 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, wrong bool) *
 			if sflags&cache.FlagWrong != 0 {
 				d.WrongUseful++
 			}
+			if d.metrics != nil {
+				if at, ok := d.sideInsertAt[block]; ok {
+					d.metrics.ObserveWECPromotion(cycle - at)
+					delete(d.sideInsertAt, block)
+				}
+			}
 			// Swap: the block moves into L1; the L1 victim moves into the
 			// side buffer (WEC and VC behaviour; the PB promotes without
 			// keeping a victim, matching a conventional prefetch buffer).
@@ -117,7 +138,7 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, wrong bool) *
 			victim := d.l1.Insert(block, 0, kind == Store)
 			if victim.Valid {
 				if d.sideTakesVictims() {
-					d.sideInsert(victim.Addr, victim.Flags, victim.Dirty)
+					d.sideInsert(cycle, victim.Addr, victim.Flags, victim.Dirty)
 				} else if victim.Dirty {
 					d.h.writeback(victim.Addr)
 				}
@@ -188,7 +209,7 @@ func (d *DUnit) issuePrefetch(cycle uint64, block uint64) {
 	if d.mshr.Full() {
 		return
 	}
-	req := &Request{ID: d.h.nextID, Addr: block, Kind: Prefetch}
+	req := &Request{ID: d.h.nextID, Addr: block, Kind: Prefetch, Issued: cycle}
 	d.h.nextID++
 	d.PrefIssued++
 	allocated, ok := d.mshr.Add(block, req.ID)
@@ -235,7 +256,7 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 		victim := d.l1.Insert(block, 0, store)
 		if victim.Valid {
 			if d.sideTakesVictims() {
-				d.sideInsert(victim.Addr, victim.Flags, victim.Dirty)
+				d.sideInsert(cycle, victim.Addr, victim.Flags, victim.Dirty)
 			} else if victim.Dirty {
 				d.h.writeback(victim.Addr)
 			}
@@ -250,18 +271,18 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 			fl |= cache.FlagWrong
 		}
 		if d.side != nil {
-			d.sideInsert(block, fl, false)
+			d.sideInsert(cycle, block, fl, false)
 		} else {
-			d.fillL1Polluting(block, fl)
+			d.fillL1Polluting(cycle, block, fl)
 		}
 	default:
 		// Wrong-execution fill (possibly merged with prefetches).
 		if d.cfg.Side == SideWEC {
-			d.sideInsert(block, cache.FlagWrong, false)
+			d.sideInsert(cycle, block, cache.FlagWrong, false)
 		} else if d.cfg.WrongFillsToL1 {
-			d.fillL1Polluting(block, cache.FlagWrong)
+			d.fillL1Polluting(cycle, block, cache.FlagWrong)
 		} else if d.side != nil && d.cfg.Side == SidePB {
-			d.sideInsert(block, cache.FlagWrong, false)
+			d.sideInsert(cycle, block, cache.FlagWrong, false)
 		}
 		// With SideVC and !WrongFillsToL1 the block is dropped entirely
 		// (pure orig semantics never reach here: orig issues no wrong loads).
@@ -270,11 +291,11 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 
 // fillL1Polluting inserts a wrong-execution or prefetch block directly into
 // L1 (the wp/wth configurations), sending the victim to the VC if present.
-func (d *DUnit) fillL1Polluting(block uint64, flags uint8) {
+func (d *DUnit) fillL1Polluting(cycle uint64, block uint64, flags uint8) {
 	victim := d.l1.Insert(block, flags, false)
 	if victim.Valid {
 		if d.cfg.Side == SideVC {
-			d.sideInsert(victim.Addr, victim.Flags, victim.Dirty)
+			d.sideInsert(cycle, victim.Addr, victim.Flags, victim.Dirty)
 		} else if victim.Dirty {
 			d.h.writeback(victim.Addr)
 		}
@@ -293,11 +314,17 @@ func (d *DUnit) sideTakesVictims() bool {
 	return false
 }
 
-func (d *DUnit) sideInsert(block uint64, flags uint8, dirty bool) {
+func (d *DUnit) sideInsert(cycle uint64, block uint64, flags uint8, dirty bool) {
 	d.SideInserts++
 	victim := d.side.Insert(block, flags, dirty)
 	if victim.Valid && victim.Dirty {
 		d.h.writeback(victim.Addr)
+	}
+	if d.metrics != nil {
+		d.sideInsertAt[block] = cycle
+		if victim.Valid {
+			delete(d.sideInsertAt, victim.Addr)
+		}
 	}
 }
 
@@ -310,6 +337,9 @@ func (d *DUnit) notePrefetchProvenance(flags uint8) {
 func (d *DUnit) complete(req *Request, at uint64) {
 	req.Done = true
 	req.DoneCycle = at
+	if d.metrics != nil && req.Kind != Prefetch {
+		d.metrics.ObserveMemAccess(d.tu, req.Issued, at, req.Wrong)
+	}
 }
 
 // applyUpdate receives a sequential-mode coherence update: if the block is
@@ -339,6 +369,9 @@ func (d *DUnit) Reset() {
 	}
 	d.mshr.Reset()
 	d.requests = make(map[int64]*Request)
+	if d.sideInsertAt != nil {
+		d.sideInsertAt = make(map[uint64]uint64)
+	}
 	d.portsUsed = 0
 	d.Accesses, d.Misses, d.Traffic, d.WrongAcc = 0, 0, 0, 0
 	d.SideHits, d.SideInserts, d.PrefIssued, d.PrefUseful = 0, 0, 0, 0

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"repro/internal/cache"
+	"repro/internal/metrics"
 )
 
 // instBase places instruction addresses in a disjoint region of the shared
@@ -97,6 +98,13 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 
 // L2 exposes the shared cache for tests.
 func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+
+// SetMetrics attaches an observability collector to every data unit.
+func (h *Hierarchy) SetMetrics(c *metrics.Collector) {
+	for _, d := range h.dunits {
+		d.SetMetrics(c)
+	}
+}
 
 // BeginCycle resets per-cycle port state; call before stepping the cores.
 func (h *Hierarchy) BeginCycle(cycle uint64) {

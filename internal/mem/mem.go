@@ -161,10 +161,11 @@ const PhysMask = (uint64(1) << PhysBits) - 1
 
 // Request is one outstanding data access. The issuing core polls Done.
 type Request struct {
-	ID    int64
-	Addr  uint64
-	Kind  AccessKind
-	Wrong bool // issued by wrong-path or wrong-thread execution
+	ID     int64
+	Addr   uint64
+	Kind   AccessKind
+	Wrong  bool   // issued by wrong-path or wrong-thread execution
+	Issued uint64 // cycle the access entered the memory system
 
 	Done      bool
 	DoneCycle uint64 // cycle at which the value is available

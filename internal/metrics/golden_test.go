@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The golden files pin the export schemas: metrics JSON, interval-series
+// CSV, and the Perfetto/Chrome trace JSON. Regenerate after an intentional
+// schema change with:
+//
+//	go test ./internal/metrics -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// goldenCollector builds a collector with fully deterministic contents.
+func goldenCollector() *Collector {
+	c := NewCollector(100)
+
+	var commits, misses, accesses uint64
+	c.Registry.RegisterFunc("tu0", "commits", func() uint64 { return commits })
+	c.Registry.RegisterFunc("l1d0", "misses", func() uint64 { return misses })
+	c.Registry.RegisterFunc("l1d0", "accesses", func() uint64 { return accesses })
+	c.Sampler.Add("ipc", PerCycle, func() float64 { return float64(commits) }, nil)
+	c.Sampler.Add("l1d_miss_rate", Ratio,
+		func() float64 { return float64(misses) },
+		func() float64 { return float64(accesses) })
+
+	commits, misses, accesses = 150, 4, 40
+	c.MaybeSample(100)
+	commits, misses, accesses = 410, 4, 100
+	c.MaybeSample(200)
+
+	c.ObserveMemAccess(0, 10, 11, false) // L1 hit: latency 1
+	c.ObserveMemAccess(0, 20, 38, false) // L2 hit: latency 18
+	c.ObserveMemAccess(1, 30, 150, true) // wrong-execution DRAM miss
+	c.ObserveLoadUse(2)
+	c.ObserveLoadUse(7)
+	c.ObserveWECPromotion(25)
+	c.ObserveThreadLifetime(900, true)
+	c.ObserveThreadLifetime(60, false)
+
+	c.Finish(250)
+	return c
+}
+
+func TestGoldenMetricsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenCollector().WriteJSON(&buf, 250); err != nil {
+		t.Fatal(err)
+	}
+	// Schema sanity, independent of the byte-exact golden.
+	var e struct {
+		Cycles   uint64            `json:"cycles"`
+		Counters map[string]uint64 `json:"counters"`
+		Series   *struct {
+			Interval uint64      `json:"interval"`
+			Columns  []string    `json:"columns"`
+			Rows     [][]float64 `json:"rows"`
+		} `json:"series"`
+		Histograms []json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if e.Cycles != 250 || e.Counters["tu0/commits"] != 410 {
+		t.Errorf("cycles=%d counters=%v", e.Cycles, e.Counters)
+	}
+	if e.Series == nil || e.Series.Columns[0] != "cycle" || len(e.Series.Rows) != 3 {
+		t.Errorf("series = %+v", e.Series)
+	}
+	if len(e.Histograms) != 5 {
+		t.Errorf("histograms = %d, want 5", len(e.Histograms))
+	}
+	checkGolden(t, "metrics.golden.json", buf.Bytes())
+}
+
+func TestGoldenSeriesCSV(t *testing.T) {
+	checkGolden(t, "series.golden.csv", []byte(goldenCollector().SeriesCSV()))
+}
+
+func TestGoldenTimelineJSON(t *testing.T) {
+	tl := NewTimeline()
+	// A representative run: sequential prologue, a two-thread parallel
+	// region where the successor is marked wrong and killed, an abort back
+	// to sequential execution, and the halt.
+	for _, e := range []trace.Event{
+		{Cycle: 50, TU: 0, Kind: trace.Begin, Arg: 0b11},
+		{Cycle: 55, TU: 0, Kind: trace.Fork, Arg: 100},
+		{Cycle: 60, TU: 0, Kind: trace.Tsagd},
+		{Cycle: 63, TU: 1, Kind: trace.ThreadStart, Arg: 100},
+		{Cycle: 70, TU: 1, Kind: trace.Tsagd},
+		{Cycle: 120, TU: 0, Kind: trace.Abort, Arg: 200},
+		{Cycle: 120, TU: 1, Kind: trace.WrongMark},
+		{Cycle: 125, TU: 0, Kind: trace.WBDrain},
+		{Cycle: 140, TU: 0, Kind: trace.SeqResume, Arg: 200},
+		{Cycle: 180, TU: 1, Kind: trace.Kill},
+		{Cycle: 300, TU: 0, Kind: trace.Halt},
+	} {
+		tl.Event(e)
+	}
+	tl.MemSpan(0, 80, 98, false)
+	tl.MemSpan(1, 130, 170, true)
+
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The trace must be well-formed Chrome trace-event JSON.
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  *int   `json:"pid"`
+			Tid  *int   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	phs := map[string]bool{}
+	for _, e := range f.TraceEvents {
+		phs[e.Ph] = true
+		if e.Ph == "" || e.Pid == nil || e.Tid == nil {
+			t.Errorf("event %q missing ph/pid/tid", e.Name)
+		}
+	}
+	for _, ph := range []string{"M", "X", "i"} {
+		if !phs[ph] {
+			t.Errorf("no %q events in trace", ph)
+		}
+	}
+	checkGolden(t, "timeline.golden.json", buf.Bytes())
+}

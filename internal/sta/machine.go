@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/memimg"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -98,6 +99,12 @@ type Machine struct {
 	// Trace, when non-nil, receives thread-lifecycle events.
 	Trace trace.Tracer
 
+	// Metrics, when non-nil, receives cycle-level observability data:
+	// counters, interval series, latency histograms, and (when its
+	// Timeline is set) a Perfetto-loadable cycle timeline. Attach before
+	// Run; a nil collector costs nothing on the simulation's hot paths.
+	Metrics *metrics.Collector
+
 	cfg  Config
 	prog *isa.Program
 	img  *memimg.Image
@@ -161,6 +168,7 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 
 // Run executes the program to completion and returns aggregate results.
 func (m *Machine) Run() (*Result, error) {
+	m.attachMetrics()
 	m.tus[0].startMain()
 	for !m.halted {
 		if m.cycle >= m.cfg.MaxCycles {
@@ -171,6 +179,7 @@ func (m *Machine) Run() (*Result, error) {
 	}
 	// Drain: let outstanding wrong threads disappear with the machine; the
 	// program result is already architectural.
+	m.Metrics.Finish(m.cycle)
 	return m.result(), nil
 }
 
@@ -186,6 +195,9 @@ func (m *Machine) step() {
 		m.parCycles++
 	}
 	m.cycle++
+	if m.Metrics != nil {
+		m.Metrics.MaybeSample(m.cycle)
+	}
 }
 
 // tryStartPending launches a waiting fork once its target TU is idle and
@@ -245,6 +257,7 @@ func (m *Machine) startThread(pf *pendingFork, tu *threadUnit) {
 	} else {
 		tu.pred = -1
 	}
+	tu.startedAt = m.cycle
 	tu.core.StartThread(pf.target, pf.mask, &pf.regs, tu.wrong)
 	m.forks++
 	m.emit(tu.id, trace.ThreadStart, int64(pf.target))

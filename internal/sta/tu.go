@@ -37,6 +37,7 @@ type threadUnit struct {
 	curCycle    uint64
 	lastCommits uint64
 	parCommits  uint64
+	startedAt   uint64 // cycle the current thread began (metrics lifetime)
 }
 
 func newThreadUnit(m *Machine, id int) *threadUnit {
@@ -123,6 +124,9 @@ func (tu *threadUnit) drainWB(cycle uint64) {
 // aborting thread's write-back.
 func (tu *threadUnit) finishWB(cycle uint64) {
 	tu.mbStats()
+	if tu.m.Metrics != nil {
+		tu.m.Metrics.ObserveThreadLifetime(cycle-tu.startedAt, true)
+	}
 	// This thread's target stores are now in memory: drop them from live
 	// successors' buffers so buffer occupancy stays bounded by the live
 	// thread window (a retired thread's slots are freed in real hardware).
@@ -166,6 +170,9 @@ func (tu *threadUnit) detach() {
 func (tu *threadUnit) kill() {
 	tu.m.emit(tu.id, trace.Kill, 0)
 	tu.mbStats()
+	if tu.m.Metrics != nil {
+		tu.m.Metrics.ObserveThreadLifetime(tu.m.cycle-tu.startedAt, false)
+	}
 	tu.core.Kill()
 	tu.memBuf.reset()
 	tu.detach()
@@ -257,6 +264,7 @@ func (tu *threadUnit) OnBegin(cycle uint64, mask int64) {
 	tu.gen++
 	tu.parMode = true
 	tu.pred, tu.succ = -1, -1
+	tu.startedAt = cycle
 	tu.memBuf.reset()
 	tu.ownTargets = make(map[uint64]*mbEntry)
 	tu.tsagDone, tu.tsagChainDone = false, false
