@@ -3,6 +3,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/attrib"
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -97,4 +98,40 @@ func BenchmarkSimParserNLP8TU(b *testing.B) { benchSimulate(b, "parser", config.
 // and in the low single digits percent when attached.
 func BenchmarkSimMcfWEC8TUMetrics(b *testing.B) {
 	benchSimulate(b, "mcf", config.WTHWPWEC, 8, 10000)
+}
+
+// BenchmarkSimMcfWEC8TUAttrib measures the overhead of an attached
+// attribution collector (block provenance + shadow table, no metrics).
+// Compare against BenchmarkSimMcfWEC8TU; with the collector detached the
+// instrumentation is a nil check per hook site and must not move the
+// baseline number.
+func BenchmarkSimMcfWEC8TUAttrib(b *testing.B) {
+	w, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := w.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Main(8)
+	if err := config.Apply(config.WTHWPWEC, &cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		m, err := sta.New(cfg, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Attrib = attrib.NewCollector()
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }

@@ -9,6 +9,7 @@
 // Observability (see README "Observability"):
 //
 //	experiments -run fig11 -v -interval 5000 -metrics-dir out/
+//	experiments -run gain -v -attrib-dir attrib/
 //	experiments -run all -cpuprofile cpu.pprof
 package main
 
@@ -34,6 +35,7 @@ func main() {
 
 		interval   = flag.Uint64("interval", 0, "metrics sampling interval in cycles (0 = off; needs -metrics-dir to export)")
 		metricsDir = flag.String("metrics-dir", "", "write one interval-series metrics JSON per simulation into this directory")
+		attribDir  = flag.String("attrib-dir", "", "attach fill attribution and write one report JSON per simulation into this directory")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -70,6 +72,11 @@ func main() {
 		r.MetricsDir = *metricsDir
 	}
 	r.MetricsInterval = *interval
+	if *attribDir != "" {
+		fatal(os.MkdirAll(*attribDir, 0o755))
+		r.Attrib = true
+		r.AttribDir = *attribDir
+	}
 
 	exps := harness.All()
 	if *run != "all" {

@@ -13,6 +13,11 @@
 //
 //	stasim -bench mcf -config wth-wp-wec -metrics m.json -timeline t.trace.json -interval 1000
 //	stasim -bench mcf -metrics-csv series.csv -interval 500
+//
+// Fill attribution (see README "Attribution"):
+//
+//	stasim -bench mcf -config wth-wp-wec -attrib
+//	stasim -bench mcf -config vc -attrib -attrib-top 10 -attrib-json report.json
 package main
 
 import (
@@ -21,8 +26,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 
 	"repro/internal/asm"
+	"repro/internal/attrib"
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/metrics"
@@ -45,6 +52,11 @@ func main() {
 		disasm  = flag.Bool("disasm", false, "print the program listing instead of simulating")
 		doTrace = flag.Bool("trace", false, "stream thread-lifecycle events to stderr")
 		list    = flag.Bool("list", false, "list benchmarks and configurations")
+
+		doAttrib     = flag.Bool("attrib", false, "attach the fill-attribution collector and print its summary")
+		attribJSON   = flag.String("attrib-json", "", "write the attribution report as JSON to this file (implies -attrib)")
+		attribTop    = flag.Int("attrib-top", attrib.DefaultTopN, "per-PC rows in the attribution report")
+		attribWindow = flag.Uint64("attrib-window", 0, "pollution re-miss window in cycles (0 = default)")
 
 		metricsOut  = flag.String("metrics", "", "write metrics JSON (counters, interval series, histograms) to this file")
 		metricsCSV  = flag.String("metrics-csv", "", "write the interval time series as CSV to this file")
@@ -126,6 +138,13 @@ func main() {
 		}
 		m.Metrics = col
 	}
+	var ac *attrib.Collector
+	if *doAttrib || *attribJSON != "" {
+		ac = attrib.NewCollector()
+		ac.TopN = *attribTop
+		ac.Window = *attribWindow
+		m.Attrib = ac
+	}
 	res, err := m.Run()
 	fatal(err)
 
@@ -175,6 +194,47 @@ func main() {
 		s.L2Accesses, s.L2Misses, s.MemAccesses)
 	fmt.Printf("update traffic   %d bus transactions\n", s.UpdateTraffic)
 	fmt.Printf("memory checksum  %#x\n", res.MemCheck)
+
+	if ac != nil {
+		rep := ac.Report(s.Cycles)
+		if *attribJSON != "" {
+			fatal(writeFile(*attribJSON, func(f *os.File) error { return rep.WriteJSON(f) }))
+		}
+		fmt.Println()
+		fatal(rep.WriteText(os.Stdout, symbolLabeler(prog)))
+	}
+}
+
+// symbolLabeler maps a PC to the nearest preceding code label plus offset,
+// so the attribution top-PC table reads in source terms.
+func symbolLabeler(p *isa.Program) func(pc int) string {
+	type sym struct {
+		at   int64
+		name string
+	}
+	var syms []sym
+	for name, at := range p.Symbols {
+		if isLabel(p, name) {
+			syms = append(syms, sym{at, name})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].at != syms[j].at {
+			return syms[i].at < syms[j].at
+		}
+		return syms[i].name < syms[j].name
+	})
+	return func(pc int) string {
+		i := sort.Search(len(syms), func(i int) bool { return syms[i].at > int64(pc) })
+		if i == 0 {
+			return ""
+		}
+		s := syms[i-1]
+		if off := int64(pc) - s.at; off != 0 {
+			return fmt.Sprintf("%s+%d", s.name, off)
+		}
+		return s.name
+	}
 }
 
 // isLabel reports whether a symbol is a code label (its value is a valid

@@ -195,6 +195,15 @@ type Victim struct {
 	Valid bool
 }
 
+// Untouched reports whether the evicted block still carried speculative
+// provenance when it left the cache — i.e. it was brought in by wrong
+// execution or a prefetch and no correct-path demand access ever claimed it
+// (a demand hit clears the flags). This is the per-eviction signal the
+// attribution layer classifies as a "useless" speculative fill.
+func (v Victim) Untouched() bool {
+	return v.Valid && v.Flags&(FlagWrong|FlagPrefetch) != 0
+}
+
 // Insert places addr's block with the given flags, evicting the LRU line of
 // the set if necessary. Inserting an already-resident block just refreshes
 // its LRU state and ORs the flags. The evicted block, if any, is returned.

@@ -115,6 +115,26 @@ func TestAccessClearsFlags(t *testing.T) {
 	}
 }
 
+func TestVictimUntouched(t *testing.T) {
+	c := mk(t, 64, 1, 64)
+	// A wrong-fetched block never claimed by a demand access is evicted
+	// with its speculative flags intact: Untouched reports it.
+	c.Insert(0, FlagWrong, false)
+	if v := c.Insert(4096, 0, false); !v.Untouched() {
+		t.Errorf("unclaimed speculative victim = %+v", v)
+	}
+	// A demand access clears the flags; the eviction is of a claimed block.
+	c.Insert(0, FlagPrefetch, false)
+	c.Access(0, false)
+	if v := c.Insert(4096, 0, false); v.Untouched() {
+		t.Errorf("claimed victim reported untouched: %+v", v)
+	}
+	// An invalid victim is never "untouched".
+	if (Victim{Flags: FlagWrong}).Untouched() {
+		t.Error("invalid victim reported untouched")
+	}
+}
+
 func TestTouchKeepsFlags(t *testing.T) {
 	c := mk(t, 128, 2, 64)
 	c.Insert(0, FlagWrong, false)

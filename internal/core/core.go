@@ -101,14 +101,15 @@ type LoadResult struct {
 // store forwarding, and the cache hierarchy underneath.
 type DMem interface {
 	// TryLoad attempts to issue a load at the given cycle. wrong marks
-	// wrong-execution loads (wrong-path continuation or wrong threads).
-	TryLoad(cycle uint64, addr uint64, wrong bool) LoadResult
+	// wrong-execution loads (wrong-thread mode); pc is the issuing
+	// instruction, threaded through for attribution and the timeline.
+	TryLoad(cycle uint64, addr uint64, wrong bool, pc int) LoadResult
 	// WrongLoad issues a squashed-path load purely for its cache effects.
 	// Returns false when no port was available this cycle.
-	WrongLoad(cycle uint64, addr uint64) bool
+	WrongLoad(cycle uint64, addr uint64, pc int) bool
 	// CommitStore performs a store in program order at commit time.
-	// target marks TST target stores.
-	CommitStore(cycle uint64, addr uint64, val int64, target bool)
+	// target marks TST target stores; pc is the issuing instruction.
+	CommitStore(cycle uint64, addr uint64, val int64, target bool, pc int)
 	// LoadsAllowed gates the computation stage: loads may not issue until
 	// the thread's run-time dependence-checking state is ready (§2.2).
 	LoadsAllowed() bool
@@ -133,6 +134,12 @@ const (
 	stExecuting
 	stDone
 )
+
+// wrongLoad is one extracted wrong-path load awaiting issue.
+type wrongLoad struct {
+	addr uint64
+	pc   int
+}
 
 type operand struct {
 	ready bool
@@ -210,8 +217,10 @@ type Core struct {
 	running       bool
 	wrongMode     bool // wrong-thread execution: all loads tagged wrong
 
-	// Wrong-path load continuation queue (addresses only).
-	wrongQ []uint64
+	// Wrong-path load continuation queue: effective addresses plus the
+	// squashed load's PC, kept so the memory system can attribute the
+	// wrong-path fill to its instruction.
+	wrongQ []wrongLoad
 
 	// seqForkTarget is the last FORK target seen by fetch in SeqLoops mode.
 	seqForkTarget int

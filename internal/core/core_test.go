@@ -28,7 +28,7 @@ func newTestDMem(img *memimg.Image) *testDMem {
 
 func (d *testDMem) begin() { d.used = 0 }
 
-func (d *testDMem) TryLoad(cycle uint64, addr uint64, wrong bool) LoadResult {
+func (d *testDMem) TryLoad(cycle uint64, addr uint64, wrong bool, pc int) LoadResult {
 	if n := d.stalls[addr]; n > 0 {
 		d.stalls[addr] = n - 1
 		return LoadResult{Status: LoadStall}
@@ -40,7 +40,7 @@ func (d *testDMem) TryLoad(cycle uint64, addr uint64, wrong bool) LoadResult {
 	return LoadResult{Status: LoadForwarded, Value: d.img.ReadWord(addr)}
 }
 
-func (d *testDMem) WrongLoad(cycle uint64, addr uint64) bool {
+func (d *testDMem) WrongLoad(cycle uint64, addr uint64, pc int) bool {
 	if d.used >= d.ports {
 		return false
 	}
@@ -49,7 +49,7 @@ func (d *testDMem) WrongLoad(cycle uint64, addr uint64) bool {
 	return true
 }
 
-func (d *testDMem) CommitStore(cycle uint64, addr uint64, val int64, target bool) {
+func (d *testDMem) CommitStore(cycle uint64, addr uint64, val int64, target bool, pc int) {
 	d.img.WriteWord(addr, val)
 }
 

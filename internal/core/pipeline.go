@@ -71,11 +71,11 @@ func (c *Core) commit(cycle uint64) {
 			c.popLSQ(idx)
 		case isa.ST, isa.FST:
 			c.Stats.Stores++
-			c.dmem.CommitStore(cycle, e.addr, e.storeBits, false)
+			c.dmem.CommitStore(cycle, e.addr, e.storeBits, false, e.pc)
 			c.popLSQ(idx)
 		case isa.TST:
 			c.Stats.Stores++
-			c.dmem.CommitStore(cycle, e.addr, e.storeBits, true)
+			c.dmem.CommitStore(cycle, e.addr, e.storeBits, true, e.pc)
 			c.popLSQ(idx)
 		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
 			c.Stats.Branches++
@@ -257,7 +257,7 @@ func (c *Core) recover(cycle uint64, agePos, nextPC int) {
 				e.addrKnown = true
 			}
 			if e.addrKnown && len(c.wrongQ) < c.cfg.LSQSize {
-				c.wrongQ = append(c.wrongQ, e.addr)
+				c.wrongQ = append(c.wrongQ, wrongLoad{addr: e.addr, pc: e.pc})
 			}
 		}
 	}
@@ -416,7 +416,7 @@ func (c *Core) issueLoad(cycle uint64, idx, agePos int) bool {
 	if !c.dmem.LoadsAllowed() {
 		return false
 	}
-	res := c.dmem.TryLoad(cycle, e.addr, c.wrongMode)
+	res := c.dmem.TryLoad(cycle, e.addr, c.wrongMode, e.pc)
 	switch res.Status {
 	case LoadStall, LoadNoPort:
 		return false
@@ -452,7 +452,7 @@ func (c *Core) finishLoadValue(e *robEntry, bits int64) {
 // cycle (issue runs first).
 func (c *Core) drainWrongQ(cycle uint64) {
 	for len(c.wrongQ) > 0 {
-		if !c.dmem.WrongLoad(cycle, c.wrongQ[0]) {
+		if !c.dmem.WrongLoad(cycle, c.wrongQ[0].addr, c.wrongQ[0].pc) {
 			return
 		}
 		c.Stats.WrongPathLoadsIssued++

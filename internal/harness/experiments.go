@@ -536,6 +536,69 @@ func ablation(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// gainDecomp decomposes where each speculative configuration's gain comes
+// from, using the attribution layer: relative speedup over orig at 8 TUs
+// beside the classification of every speculative fill (useful, late,
+// useless, polluting) and the side buffer's victim-cache hits, summed over
+// the benchmark suite. wth-wp fills wrong blocks straight into the L1 (no
+// side buffer), nlp prefetches without wrong execution, vc is a victim
+// cache alone, and wth-wp-wec combines all three roles.
+func gainDecomp(r *Runner) (*stats.Table, error) {
+	prevOn, prevTop := r.Attrib, r.AttribTopN
+	r.Attrib = true
+	defer func() { r.Attrib, r.AttribTopN = prevOn, prevTop }()
+	names := []config.Name{config.WTHWP, config.NLP, config.VC, config.WTHWPWEC}
+	var jobs []job
+	for _, b := range Benches() {
+		jobs = append(jobs, job{b.Short, cfg8(config.Orig, nil)})
+		for _, n := range names {
+			jobs = append(jobs, job{b.Short, cfg8(n, nil)})
+		}
+	}
+	if err := r.batch(jobs); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{
+		"Config", "speedup", "spec fills", "useful", "late", "useless", "polluting", "victim hits",
+	}}
+	for _, n := range names {
+		var col []float64
+		var spec, useful, late, useless, polluting, victims uint64
+		for _, b := range Benches() {
+			or, err := r.Result(b.Short, cfg8(config.Orig, nil))
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Result(b.Short, cfg8(n, nil))
+			if err != nil {
+				return nil, err
+			}
+			rep, err := r.AttribReport(b.Short, cfg8(n, nil))
+			if err != nil {
+				return nil, err
+			}
+			col = append(col, stats.Speedup(or.Stats.Cycles, res.Stats.Cycles))
+			spec += rep.SpecFills.Total()
+			useful += rep.Useful.Total()
+			late += rep.Late.Total()
+			useless += rep.Useless.Total()
+			polluting += rep.Polluting.Total()
+			victims += rep.VictimHits
+		}
+		frac := func(n uint64) string {
+			if spec == 0 {
+				return fmt.Sprintf("%d", n)
+			}
+			return fmt.Sprintf("%d (%.0f%%)", n, 100*float64(n)/float64(spec))
+		}
+		t.AddRow(string(n),
+			stats.Pct((stats.WeightedAverageSpeedup(col)-1)*100),
+			fmt.Sprint(spec), frac(useful), frac(late), frac(useless),
+			fmt.Sprint(polluting), fmt.Sprint(victims))
+	}
+	return t, nil
+}
+
 // table1 records which of the paper's Table 1 program transformations each
 // kernel archetype models (loop coalescing, loop unrolling, statement
 // reordering to increase overlap).

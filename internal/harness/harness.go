@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/attrib"
 	"repro/internal/interp"
 	"repro/internal/isa"
 	"repro/internal/metrics"
@@ -40,8 +41,20 @@ type Runner struct {
 	// JSON file per (benchmark, configuration) run.
 	MetricsDir string
 
+	// Attrib attaches a fill-attribution collector to every simulation;
+	// reports are memoized beside the results (see AttribReport). A
+	// result cached without attribution is re-simulated when its report
+	// is first needed.
+	Attrib bool
+	// AttribDir, when set with Attrib, receives one attribution JSON
+	// report per (benchmark, configuration) run.
+	AttribDir string
+	// AttribTopN bounds the per-PC table in each report (0 = default).
+	AttribTopN int
+
 	mu      sync.Mutex
 	results map[string]*sta.Result
+	attribs map[string]*attrib.Report
 	progs   map[string]*isa.Program
 	refs    map[string]*interp.Result
 
@@ -57,6 +70,7 @@ func NewRunner(scale int) *Runner {
 	return &Runner{
 		Scale:   scale,
 		results: make(map[string]*sta.Result),
+		attribs: make(map[string]*attrib.Report),
 		progs:   make(map[string]*isa.Program),
 		refs:    make(map[string]*interp.Result),
 	}
@@ -119,11 +133,16 @@ func key(bench string, cfg sta.Config) string {
 }
 
 // Result runs one simulation (memoized) and validates the architectural
-// outcome against the functional reference.
+// outcome against the functional reference. Every fresh run is also checked
+// against the cross-counter statistic invariants, and — when Attrib is set —
+// against the attribution report's internal accounting.
 func (r *Runner) Result(bench string, cfg sta.Config) (*sta.Result, error) {
 	k := key(bench, cfg)
 	r.mu.Lock()
 	res, ok := r.results[k]
+	if ok && r.Attrib && r.attribs[k] == nil {
+		ok = false // cached without attribution: simulate again for the report
+	}
 	r.mu.Unlock()
 	if ok {
 		return res, nil
@@ -146,6 +165,12 @@ func (r *Runner) Result(bench string, cfg sta.Config) (*sta.Result, error) {
 		col = metrics.NewCollector(r.MetricsInterval)
 		m.Metrics = col
 	}
+	var ac *attrib.Collector
+	if r.Attrib {
+		ac = attrib.NewCollector()
+		ac.TopN = r.AttribTopN
+		m.Attrib = ac
+	}
 	res, err = m.Run()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", bench, err)
@@ -154,13 +179,31 @@ func (r *Runner) Result(bench string, cfg sta.Config) (*sta.Result, error) {
 		return nil, fmt.Errorf("harness: %s: architectural mismatch: machine %#x, reference %#x (configuration changed results)",
 			bench, res.MemCheck, ref.MemCheck)
 	}
+	if err := res.Stats.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", bench, err)
+	}
 	if col != nil && r.MetricsDir != "" {
 		if err := r.writeMetrics(bench, k, col, res.Stats.Cycles); err != nil {
 			return nil, err
 		}
 	}
+	var rep *attrib.Report
+	if ac != nil {
+		rep = ac.Report(res.Stats.Cycles)
+		if err := rep.CheckInternal(); err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", bench, err)
+		}
+		if r.AttribDir != "" {
+			if err := r.writeAttrib(bench, k, rep); err != nil {
+				return nil, err
+			}
+		}
+	}
 	r.mu.Lock()
 	r.results[k] = res
+	if rep != nil {
+		r.attribs[k] = rep
+	}
 	r.mu.Unlock()
 	if r.Verbose != nil {
 		r.vmu.Lock()
@@ -185,6 +228,45 @@ func (r *Runner) writeMetrics(bench, key string, col *metrics.Collector, cycles 
 	if err := col.WriteJSON(f, cycles); err != nil {
 		f.Close()
 		return fmt.Errorf("harness: metrics export: %w", err)
+	}
+	return f.Close()
+}
+
+// AttribReport returns the attribution report memoized for a simulation,
+// running it (with attribution attached) if needed.
+func (r *Runner) AttribReport(bench string, cfg sta.Config) (*attrib.Report, error) {
+	k := key(bench, cfg)
+	r.mu.Lock()
+	rep := r.attribs[k]
+	r.mu.Unlock()
+	if rep != nil {
+		return rep, nil
+	}
+	if !r.Attrib {
+		return nil, fmt.Errorf("harness: attribution not enabled (set Runner.Attrib)")
+	}
+	if _, err := r.Result(bench, cfg); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	rep = r.attribs[k]
+	r.mu.Unlock()
+	return rep, nil
+}
+
+// writeAttrib exports one run's attribution report as JSON under AttribDir,
+// named like writeMetrics output with an .attrib.json suffix.
+func (r *Runner) writeAttrib(bench, key string, rep *attrib.Report) error {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	name := fmt.Sprintf("%s-%08x.attrib.json", bench, h.Sum32())
+	f, err := os.Create(filepath.Join(r.AttribDir, name))
+	if err != nil {
+		return fmt.Errorf("harness: attrib export: %w", err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("harness: attrib export: %w", err)
 	}
 	return f.Close()
 }
@@ -265,6 +347,7 @@ func All() []Experiment {
 		{ID: "fig16", Title: "Figure 16: WEC versus next-line prefetch buffer size", Run: fig16},
 		{ID: "fig17", Title: "Figure 17: L1 traffic increase and miss reduction", Run: fig17},
 		{ID: "ablate", Title: "Ablation: the WEC's three roles in isolation (extension)", Run: ablation},
+		{ID: "gain", Title: "Gain decomposition: fill attribution for WEC vs vc vs nlp vs wth-wp (extension)", Run: gainDecomp},
 		{ID: "ext-latency", Title: "Extension (paper §7): memory-latency sensitivity of the WEC", Run: extLatency},
 		{ID: "ext-block", Title: "Extension (paper §7): L1 block-size sensitivity of the WEC", Run: extBlockSize},
 		{ID: "ext-bpred", Title: "Extension (paper §7): branch-prediction accuracy vs WEC benefit", Run: extBpred},

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"repro/internal/attrib"
 	"repro/internal/cache"
 	"repro/internal/metrics"
 )
@@ -25,6 +26,10 @@ type DUnit struct {
 	// side-buffer block was inserted.
 	metrics      *metrics.Collector
 	sideInsertAt map[uint64]uint64
+
+	// attrib, when non-nil, receives fill provenance, eviction, and touch
+	// events for the prefetch-effectiveness attribution layer.
+	attrib *attrib.Collector
 
 	// Statistics (correct-path demand unless stated otherwise).
 	Accesses    uint64 // correct-path demand accesses
@@ -77,6 +82,9 @@ func (d *DUnit) SetMetrics(c *metrics.Collector) {
 	}
 }
 
+// SetAttrib attaches (or detaches, with nil) an attribution collector.
+func (d *DUnit) SetAttrib(a *attrib.Collector) { d.attrib = a }
+
 // CanAccept reports whether another access fits in this cycle's ports.
 func (d *DUnit) CanAccept() bool { return d.portsUsed < d.cfg.L1DPorts }
 
@@ -85,33 +93,46 @@ func (d *DUnit) MSHRFull() bool { return d.mshr.Full() }
 
 func (d *DUnit) beginCycle() { d.portsUsed = 0 }
 
+// specFlags masks the provenance bits a speculative fill leaves on a block.
+const specFlags = cache.FlagWrong | cache.FlagPrefetch
+
 // Access issues a data access at the given cycle and returns the tracking
 // request. The caller must have checked CanAccept. Completion is indicated
-// by req.Done with the value available at req.DoneCycle.
+// by req.Done with the value available at req.DoneCycle. src tags the
+// issuing execution mode; pc is the issuing instruction (-1 if unknown).
 //
 // The routing logic implements Figure 6 of the paper; see the package
 // comment for a summary.
-func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, wrong bool) *Request {
+func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, pc int) *Request {
 	addr &= PhysMask
 	d.portsUsed++
 	d.Traffic++
 	block := d.l1.BlockAddr(addr)
-	req := &Request{ID: d.h.nextID, Addr: addr, Kind: kind, Wrong: wrong, Issued: cycle}
+	req := &Request{ID: d.h.nextID, Addr: addr, Kind: kind, Src: src, PC: pc, Issued: cycle}
 	d.h.nextID++
 
-	if wrong {
+	if src.Wrong() {
 		d.WrongAcc++
+		if d.attrib != nil {
+			d.attrib.OnWrongIssue(pc)
+		}
 		return d.accessWrong(cycle, block, req)
 	}
 
 	d.Accesses++
 	flags, hit := d.l1.Access(addr, kind == Store)
 	if hit {
+		if d.attrib != nil {
+			d.attrib.OnDemandAccess(d.tu, pc, block, cycle, false)
+			if flags&specFlags != 0 {
+				d.attrib.OnSpecTouch(d.tu, block, cycle)
+			}
+		}
 		d.notePrefetchProvenance(flags)
 		// Tagged next-line prefetch: first demand hit to a prefetched block
 		// triggers a prefetch of the next line (nlp configuration).
 		if d.cfg.NextLinePrefetch && flags&cache.FlagPrefetch != 0 {
-			d.issuePrefetch(cycle, d.l1.NextBlock(addr))
+			d.issuePrefetch(cycle, d.l1.NextBlock(addr), pc)
 		}
 		d.complete(req, cycle+uint64(d.cfg.L1HitLat))
 		return req
@@ -125,6 +146,14 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, wrong bool) *
 			if sflags&cache.FlagWrong != 0 {
 				d.WrongUseful++
 			}
+			if d.attrib != nil {
+				d.attrib.OnDemandAccess(d.tu, pc, block, cycle, false)
+				if sflags&specFlags != 0 {
+					d.attrib.OnSpecTouch(d.tu, block, cycle)
+				} else {
+					d.attrib.OnVictimHit(d.tu, block, cycle)
+				}
+			}
 			if d.metrics != nil {
 				if at, ok := d.sideInsertAt[block]; ok {
 					d.metrics.ObserveWECPromotion(cycle - at)
@@ -135,21 +164,30 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, wrong bool) *
 			// side buffer (WEC and VC behaviour; the PB promotes without
 			// keeping a victim, matching a conventional prefetch buffer).
 			d.side.Remove(block)
+			if d.attrib != nil {
+				d.attrib.OnPromote(d.tu, block)
+			}
 			victim := d.l1.Insert(block, 0, kind == Store)
 			if victim.Valid {
 				if d.sideTakesVictims() {
-					d.sideInsert(cycle, victim.Addr, victim.Flags, victim.Dirty)
-				} else if victim.Dirty {
-					d.h.writeback(victim.Addr)
+					d.sideInsert(cycle, victim.Addr, victim.Flags, victim.Dirty,
+						attrib.OriginVictim, -1, attrib.OriginDemand, -1)
+				} else {
+					if victim.Dirty {
+						d.h.writeback(victim.Addr)
+					}
+					if d.attrib != nil {
+						d.attrib.OnEvict(d.tu, victim.Addr, attrib.OriginDemand, -1, cycle)
+					}
 				}
 			}
 			// A correct-path hit on a wrong-fetched block in the WEC
 			// initiates a next-line prefetch whose result goes to the WEC;
 			// likewise the first hit to a tagged-prefetched block in the PB.
 			if d.cfg.Side == SideWEC && !d.cfg.WECNoNextLine && sflags&cache.FlagWrong != 0 {
-				d.issuePrefetch(cycle, d.l1.NextBlock(addr))
+				d.issuePrefetch(cycle, d.l1.NextBlock(addr), pc)
 			} else if d.cfg.NextLinePrefetch && sflags&cache.FlagPrefetch != 0 {
-				d.issuePrefetch(cycle, d.l1.NextBlock(addr))
+				d.issuePrefetch(cycle, d.l1.NextBlock(addr), pc)
 			}
 			d.complete(req, cycle+uint64(d.cfg.L1HitLat))
 			return req
@@ -158,9 +196,12 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, wrong bool) *
 
 	// Miss in both structures: demand fill from below.
 	d.Misses++
+	if d.attrib != nil {
+		d.attrib.OnDemandAccess(d.tu, pc, block, cycle, true)
+	}
 	if d.cfg.NextLinePrefetch {
 		// Tagged prefetch initiates on every demand miss.
-		d.issuePrefetch(cycle, d.l1.NextBlock(addr))
+		d.issuePrefetch(cycle, d.l1.NextBlock(addr), pc)
 	}
 	d.miss(cycle, block, req)
 	return req
@@ -198,8 +239,8 @@ func (d *DUnit) miss(cycle uint64, block uint64, req *Request) {
 }
 
 // issuePrefetch requests block into the side buffer if it is not already
-// resident or in flight.
-func (d *DUnit) issuePrefetch(cycle uint64, block uint64) {
+// resident or in flight. pc is the demand instruction that triggered it.
+func (d *DUnit) issuePrefetch(cycle uint64, block uint64, pc int) {
 	if d.side == nil && !d.cfg.NextLinePrefetch {
 		return
 	}
@@ -209,7 +250,7 @@ func (d *DUnit) issuePrefetch(cycle uint64, block uint64) {
 	if d.mshr.Full() {
 		return
 	}
-	req := &Request{ID: d.h.nextID, Addr: block, Kind: Prefetch, Issued: cycle}
+	req := &Request{ID: d.h.nextID, Addr: block, Kind: Prefetch, PC: pc, Issued: cycle}
 	d.h.nextID++
 	d.PrefIssued++
 	allocated, ok := d.mshr.Add(block, req.ID)
@@ -222,6 +263,19 @@ func (d *DUnit) issuePrefetch(cycle uint64, block uint64) {
 	}
 }
 
+// originOf maps a request to its attribution fill origin.
+func originOf(req *Request) attrib.Origin {
+	switch {
+	case req.Kind == Prefetch:
+		return attrib.OriginPrefetch
+	case req.Src == SrcWrongPath:
+		return attrib.OriginWrongPath
+	case req.Src == SrcWrongThread:
+		return attrib.OriginWrongThread
+	}
+	return attrib.OriginDemand
+}
+
 // fill delivers a block from the lower hierarchy at the given cycle.
 func (d *DUnit) fill(block uint64, cycle uint64) {
 	waiters := d.mshr.Complete(block)
@@ -229,19 +283,27 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 	store := false
 	prefetchOnly := true // only prefetch waiters
 	wrongOnly := true    // only wrong-execution waiters (no correct demand)
+	var alloc *Request   // the request that opened the MSHR entry
+	demandPC := -1
 	for _, tok := range waiters {
 		req := d.requests[tok]
 		if req == nil {
 			continue
 		}
+		if alloc == nil {
+			alloc = req // MSHR waiters are returned in arrival order
+		}
 		switch {
 		case req.Kind == Prefetch:
-		case req.Wrong:
+		case req.Src.Wrong():
 			prefetchOnly = false
 		default:
 			demand = true
 			prefetchOnly = false
 			wrongOnly = false
+			if demandPC < 0 {
+				demandPC = req.PC
+			}
 			if req.Kind == Store {
 				store = true
 			}
@@ -249,16 +311,35 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 		d.complete(req, cycle)
 		delete(d.requests, tok)
 	}
+	allocOrigin, allocPC := attrib.OriginDemand, -1
+	if alloc != nil {
+		allocOrigin, allocPC = originOf(alloc), alloc.PC
+	}
 
 	switch {
 	case demand:
 		// Correct-path fill goes to L1; the victim goes to the WEC/VC.
+		if d.attrib != nil {
+			if allocOrigin.Spec() {
+				// A speculative request opened this entry and a correct
+				// demand merged into it: right block, partially hidden
+				// latency ("late" prefetch).
+				d.attrib.OnLateFill(allocOrigin, allocPC)
+			}
+			d.attrib.OnFill(d.tu, block, attrib.OriginDemand, demandPC, cycle, attrib.StructL1)
+		}
 		victim := d.l1.Insert(block, 0, store)
 		if victim.Valid {
 			if d.sideTakesVictims() {
-				d.sideInsert(cycle, victim.Addr, victim.Flags, victim.Dirty)
-			} else if victim.Dirty {
-				d.h.writeback(victim.Addr)
+				d.sideInsert(cycle, victim.Addr, victim.Flags, victim.Dirty,
+					attrib.OriginVictim, -1, attrib.OriginDemand, -1)
+			} else {
+				if victim.Dirty {
+					d.h.writeback(victim.Addr)
+				}
+				if d.attrib != nil {
+					d.attrib.OnEvict(d.tu, victim.Addr, attrib.OriginDemand, -1, cycle)
+				}
 			}
 		}
 	case prefetchOnly && wrongOnly:
@@ -271,18 +352,18 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 			fl |= cache.FlagWrong
 		}
 		if d.side != nil {
-			d.sideInsert(cycle, block, fl, false)
+			d.sideInsert(cycle, block, fl, false, allocOrigin, allocPC, allocOrigin, allocPC)
 		} else {
-			d.fillL1Polluting(cycle, block, fl)
+			d.fillL1Polluting(cycle, block, fl, allocOrigin, allocPC)
 		}
 	default:
 		// Wrong-execution fill (possibly merged with prefetches).
 		if d.cfg.Side == SideWEC {
-			d.sideInsert(cycle, block, cache.FlagWrong, false)
+			d.sideInsert(cycle, block, cache.FlagWrong, false, allocOrigin, allocPC, allocOrigin, allocPC)
 		} else if d.cfg.WrongFillsToL1 {
-			d.fillL1Polluting(cycle, block, cache.FlagWrong)
+			d.fillL1Polluting(cycle, block, cache.FlagWrong, allocOrigin, allocPC)
 		} else if d.side != nil && d.cfg.Side == SidePB {
-			d.sideInsert(cycle, block, cache.FlagWrong, false)
+			d.sideInsert(cycle, block, cache.FlagWrong, false, allocOrigin, allocPC, allocOrigin, allocPC)
 		}
 		// With SideVC and !WrongFillsToL1 the block is dropped entirely
 		// (pure orig semantics never reach here: orig issues no wrong loads).
@@ -291,13 +372,23 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 
 // fillL1Polluting inserts a wrong-execution or prefetch block directly into
 // L1 (the wp/wth configurations), sending the victim to the VC if present.
-func (d *DUnit) fillL1Polluting(cycle uint64, block uint64, flags uint8) {
+// origin/pc attribute the speculative fill that displaces the victim.
+func (d *DUnit) fillL1Polluting(cycle uint64, block uint64, flags uint8, origin attrib.Origin, pc int) {
+	if d.attrib != nil {
+		d.attrib.OnFill(d.tu, block, origin, pc, cycle, attrib.StructL1)
+	}
 	victim := d.l1.Insert(block, flags, false)
 	if victim.Valid {
 		if d.cfg.Side == SideVC {
-			d.sideInsert(cycle, victim.Addr, victim.Flags, victim.Dirty)
-		} else if victim.Dirty {
-			d.h.writeback(victim.Addr)
+			d.sideInsert(cycle, victim.Addr, victim.Flags, victim.Dirty,
+				attrib.OriginVictim, -1, origin, pc)
+		} else {
+			if victim.Dirty {
+				d.h.writeback(victim.Addr)
+			}
+			if d.attrib != nil {
+				d.attrib.OnEvict(d.tu, victim.Addr, origin, pc, cycle)
+			}
 		}
 	}
 }
@@ -314,7 +405,13 @@ func (d *DUnit) sideTakesVictims() bool {
 	return false
 }
 
-func (d *DUnit) sideInsert(cycle uint64, block uint64, flags uint8, dirty bool) {
+// sideInsert places a block in the side buffer. origin/pc describe the
+// block's own provenance (a speculative fill or an L1 victim capture);
+// cause/causePC describe the root event, so a side-buffer eviction this
+// insert forces can be attributed to the speculation that started the
+// cascade.
+func (d *DUnit) sideInsert(cycle uint64, block uint64, flags uint8, dirty bool,
+	origin attrib.Origin, pc int, cause attrib.Origin, causePC int) {
 	d.SideInserts++
 	victim := d.side.Insert(block, flags, dirty)
 	if victim.Valid && victim.Dirty {
@@ -324,6 +421,16 @@ func (d *DUnit) sideInsert(cycle uint64, block uint64, flags uint8, dirty bool) 
 		d.sideInsertAt[block] = cycle
 		if victim.Valid {
 			delete(d.sideInsertAt, victim.Addr)
+		}
+	}
+	if d.attrib != nil {
+		if victim.Valid {
+			d.attrib.OnEvict(d.tu, victim.Addr, cause, causePC, cycle)
+		}
+		if origin == attrib.OriginVictim {
+			d.attrib.OnVictimCapture(d.tu, block, cycle)
+		} else {
+			d.attrib.OnFill(d.tu, block, origin, pc, cycle, attrib.StructSide)
 		}
 	}
 }
@@ -338,7 +445,7 @@ func (d *DUnit) complete(req *Request, at uint64) {
 	req.Done = true
 	req.DoneCycle = at
 	if d.metrics != nil && req.Kind != Prefetch {
-		d.metrics.ObserveMemAccess(d.tu, req.Issued, at, req.Wrong)
+		d.metrics.ObserveMemAccess(d.tu, req.PC, req.Issued, at, req.Wrong())
 	}
 }
 

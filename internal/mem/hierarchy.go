@@ -3,6 +3,7 @@ package mem
 import (
 	"container/heap"
 
+	"repro/internal/attrib"
 	"repro/internal/cache"
 	"repro/internal/metrics"
 )
@@ -103,6 +104,13 @@ func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
 func (h *Hierarchy) SetMetrics(c *metrics.Collector) {
 	for _, d := range h.dunits {
 		d.SetMetrics(c)
+	}
+}
+
+// SetAttrib attaches an attribution collector to every data unit.
+func (h *Hierarchy) SetAttrib(a *attrib.Collector) {
+	for _, d := range h.dunits {
+		d.SetAttrib(a)
 	}
 }
 

@@ -3,6 +3,8 @@ package mem
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/attrib"
 )
 
 // driveRandom throws a random mix of correct/wrong loads and stores at a
@@ -12,12 +14,18 @@ import (
 //     paper's swap keeps them exclusive);
 //  2. the side buffer never exceeds its entry count;
 //  3. every issued request eventually completes with a plausible latency.
+//
+// An attribution collector rides along; after the run the cross-counter
+// invariants between the DUnit statistics and the attribution report are
+// asserted (see checkCounterInvariants).
 func driveRandom(t *testing.T, cfg Config, seed int64, steps int) {
 	t.Helper()
 	h, err := NewHierarchy(2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ac := attrib.NewCollector()
+	h.SetAttrib(ac)
 	rng := rand.New(rand.NewSource(seed))
 	type pending struct {
 		req    *Request
@@ -35,11 +43,17 @@ func driveRandom(t *testing.T, cfg Config, seed int64, steps int) {
 				if rng.Intn(4) == 0 {
 					kind = Store
 				}
-				wrong := rng.Intn(3) == 0
-				if kind == Store {
-					wrong = false
+				src := SrcDemand
+				switch rng.Intn(6) {
+				case 0:
+					src = SrcWrongPath
+				case 1:
+					src = SrcWrongThread
 				}
-				req := d.Access(cyc, addr, kind, wrong)
+				if kind == Store {
+					src = SrcDemand
+				}
+				req := d.Access(cyc, addr, kind, src, rng.Intn(32))
 				outstanding = append(outstanding, pending{req, cyc})
 			}
 		}
@@ -82,6 +96,38 @@ func driveRandom(t *testing.T, cfg Config, seed int64, steps int) {
 		if lat > uint64(2*cfg.MemLat) {
 			t.Errorf("request for %#x took %d cycles (> 2x MemLat)", p.req.Addr, lat)
 		}
+	}
+	for tu := 0; tu < 2; tu++ {
+		checkCounterInvariants(t, h.DUnit(tu))
+	}
+	rep := ac.Report(cyc)
+	if err := rep.CheckInternal(); err != nil {
+		t.Errorf("attribution accounting broken: %v", err)
+	}
+}
+
+// checkCounterInvariants asserts the cross-counter relations that must hold
+// for any access mix on any configuration.
+func checkCounterInvariants(t *testing.T, d *DUnit) {
+	t.Helper()
+	if d.WrongUseful > d.SideHits {
+		t.Errorf("WrongUseful %d > SideHits %d", d.WrongUseful, d.SideHits)
+	}
+	if d.PrefUseful > d.PrefIssued {
+		t.Errorf("PrefUseful %d > PrefIssued %d", d.PrefUseful, d.PrefIssued)
+	}
+	if d.SideInserts < d.WrongUseful {
+		t.Errorf("SideInserts %d < WrongUseful %d (side hits on wrong-fetched blocks)",
+			d.SideInserts, d.WrongUseful)
+	}
+	if d.Misses > d.Accesses {
+		t.Errorf("Misses %d > Accesses %d", d.Misses, d.Accesses)
+	}
+	if d.SideHits > d.Accesses-d.Misses {
+		t.Errorf("SideHits %d > hits %d", d.SideHits, d.Accesses-d.Misses)
+	}
+	if d.Traffic != d.Accesses+d.WrongAcc {
+		t.Errorf("Traffic %d != Accesses %d + WrongAcc %d", d.Traffic, d.Accesses, d.WrongAcc)
 	}
 }
 
@@ -141,10 +187,10 @@ func TestWECAblationKnobs(t *testing.T) {
 		}
 		return h, h.DUnit(0)
 	}
-	fill := func(h *Hierarchy, d *DUnit, addr uint64, wrong bool) {
+	fill := func(h *Hierarchy, d *DUnit, addr uint64, src Source) {
 		var cyc uint64
 		h.BeginCycle(cyc)
-		r := d.Access(cyc, addr, Load, wrong)
+		r := d.Access(cyc, addr, Load, src, -1)
 		h.Tick(cyc)
 		cyc++
 		for i := 0; i < 400 && !r.Done; i++ {
@@ -155,16 +201,16 @@ func TestWECAblationKnobs(t *testing.T) {
 	}
 	// WECNoVictim: an L1 eviction must not enter the WEC.
 	h, d := mk(func(c *Config) { c.WECNoVictim = true })
-	fill(h, d, 0x1000, false)
-	fill(h, d, 0x1000+8192, false) // conflicts in the 8KB DM L1
+	fill(h, d, 0x1000, SrcDemand)
+	fill(h, d, 0x1000+8192, SrcDemand) // conflicts in the 8KB DM L1
 	if d.Side().Probe(0x1000) {
 		t.Error("WECNoVictim: victim entered the WEC")
 	}
 	// WECNoNextLine: a correct hit on a wrong block must not prefetch.
 	h, d = mk(func(c *Config) { c.WECNoNextLine = true })
-	fill(h, d, 0x2000, true) // wrong fill into WEC
+	fill(h, d, 0x2000, SrcWrongPath) // wrong fill into WEC
 	h.BeginCycle(10_000)
-	d.Access(10_000, 0x2000, Load, false) // correct hit in WEC
+	d.Access(10_000, 0x2000, Load, SrcDemand, -1) // correct hit in WEC
 	h.Tick(10_000)
 	if d.PrefIssued != 0 {
 		t.Errorf("WECNoNextLine: %d prefetches issued", d.PrefIssued)

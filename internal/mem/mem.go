@@ -159,14 +159,46 @@ const PhysBits = 38
 // PhysMask truncates an address to the physical space.
 const PhysMask = (uint64(1) << PhysBits) - 1
 
+// Source identifies the execution mode that issued an access: correct-path
+// demand, wrong-path load continuation (a squashed load kept running for its
+// cache effects), or a wrong thread executing past its abort point.
+type Source uint8
+
+// Access sources.
+const (
+	SrcDemand Source = iota
+	SrcWrongPath
+	SrcWrongThread
+)
+
+// String returns the report name of the source.
+func (s Source) String() string {
+	switch s {
+	case SrcDemand:
+		return "demand"
+	case SrcWrongPath:
+		return "wrong-path"
+	case SrcWrongThread:
+		return "wrong-thread"
+	}
+	return fmt.Sprintf("source(%d)", uint8(s))
+}
+
+// Wrong reports whether the source is wrong execution of either kind.
+func (s Source) Wrong() bool { return s != SrcDemand }
+
 // Request is one outstanding data access. The issuing core polls Done.
 type Request struct {
 	ID     int64
 	Addr   uint64
 	Kind   AccessKind
-	Wrong  bool   // issued by wrong-path or wrong-thread execution
+	Src    Source // execution mode that issued the access
+	PC     int    // issuing instruction; -1 when unknown (e.g. write-back drain)
 	Issued uint64 // cycle the access entered the memory system
 
 	Done      bool
 	DoneCycle uint64 // cycle at which the value is available
 }
+
+// Wrong reports whether wrong execution issued the request.
+func (r *Request) Wrong() bool { return r.Src.Wrong() }

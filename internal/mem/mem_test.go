@@ -61,7 +61,7 @@ func TestDemandMissLatencyFromDRAM(t *testing.T) {
 	d := h.DUnit(0)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	req := d.Access(cyc, 0x1000, Load, false)
+	req := d.Access(cyc, 0x1000, Load, SrcDemand, -1)
 	if req.Done {
 		t.Fatal("cold miss completed instantly")
 	}
@@ -89,14 +89,14 @@ func TestHitLatency(t *testing.T) {
 	d := h.DUnit(0)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	req := d.Access(cyc, 0x1000, Load, false)
+	req := d.Access(cyc, 0x1000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	for !req.Done {
 		run(h, &cyc, 1)
 	}
 	h.BeginCycle(cyc)
-	req2 := d.Access(cyc, 0x1008, Load, false) // same block
+	req2 := d.Access(cyc, 0x1008, Load, SrcDemand, -1) // same block
 	if !req2.Done || req2.DoneCycle != cyc+uint64(DefaultConfig().L1HitLat) {
 		t.Errorf("hit: done=%v at %d", req2.Done, req2.DoneCycle)
 	}
@@ -109,14 +109,14 @@ func TestL2HitLatency(t *testing.T) {
 	// Bring 0x1000 into L1+L2, then evict it from the direct-mapped L1 with
 	// a conflicting address (8KB DM: 0x1000 + 8192 maps to the same set).
 	h.BeginCycle(cyc)
-	r1 := d.Access(cyc, 0x1000, Load, false)
+	r1 := d.Access(cyc, 0x1000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	for !r1.Done {
 		run(h, &cyc, 1)
 	}
 	h.BeginCycle(cyc)
-	r2 := d.Access(cyc, 0x1000+8192, Load, false)
+	r2 := d.Access(cyc, 0x1000+8192, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	for !r2.Done {
@@ -128,7 +128,7 @@ func TestL2HitLatency(t *testing.T) {
 	// Re-access 0x1000: L1 miss, L2 hit (same L2 block fetched earlier).
 	h.BeginCycle(cyc)
 	start := cyc
-	r3 := d.Access(cyc, 0x1000, Load, false)
+	r3 := d.Access(cyc, 0x1000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	for !r3.Done {
@@ -146,8 +146,8 @@ func TestMSHRMergeSameBlock(t *testing.T) {
 	d := h.DUnit(0)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	r1 := d.Access(cyc, 0x2000, Load, false)
-	r2 := d.Access(cyc, 0x2010, Load, false) // same 64B block
+	r1 := d.Access(cyc, 0x2000, Load, SrcDemand, -1)
+	r2 := d.Access(cyc, 0x2010, Load, SrcDemand, -1) // same 64B block
 	h.Tick(cyc)
 	cyc++
 	for !r1.Done || !r2.Done {
@@ -168,8 +168,8 @@ func TestPortLimit(t *testing.T) {
 	if !d.CanAccept() {
 		t.Fatal("fresh unit refuses access")
 	}
-	d.Access(0, 0x100, Load, false)
-	d.Access(0, 0x200, Load, false)
+	d.Access(0, 0x100, Load, SrcDemand, -1)
+	d.Access(0, 0x200, Load, SrcDemand, -1)
 	if d.CanAccept() {
 		t.Error("third access in one cycle accepted with 2 ports")
 	}
@@ -203,7 +203,7 @@ func TestWrongFillGoesToWECNotL1(t *testing.T) {
 	d := h.DUnit(0)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	r := d.Access(cyc, 0x3000, Load, true) // wrong-execution load
+	r := d.Access(cyc, 0x3000, Load, SrcWrongPath, -1) // wrong-execution load
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r)
@@ -224,7 +224,7 @@ func TestWrongFillPollutesL1WithoutWEC(t *testing.T) {
 	d := h.DUnit(0)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	r := d.Access(cyc, 0x3000, Load, true)
+	r := d.Access(cyc, 0x3000, Load, SrcWrongPath, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r)
@@ -239,20 +239,20 @@ func TestWECHitSwapsIntoL1(t *testing.T) {
 	var cyc uint64
 	// Wrong load fills WEC.
 	h.BeginCycle(cyc)
-	r := d.Access(cyc, 0x3000, Load, true)
+	r := d.Access(cyc, 0x3000, Load, SrcWrongPath, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r)
 	// Occupy the conflicting L1 set so the swap has a victim.
 	h.BeginCycle(cyc)
-	r2 := d.Access(cyc, 0x3000+8192, Load, false)
+	r2 := d.Access(cyc, 0x3000+8192, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r2)
 	// Correct-path access to the wrong-fetched block: L1 miss, WEC hit.
 	h.BeginCycle(cyc)
 	start := cyc
-	r3 := d.Access(cyc, 0x3000, Load, false)
+	r3 := d.Access(cyc, 0x3000, Load, SrcDemand, -1)
 	if !r3.Done || r3.DoneCycle != start+1 {
 		t.Errorf("WEC hit should complete like an L1 hit; done=%v at %d", r3.Done, r3.DoneCycle)
 	}
@@ -294,7 +294,11 @@ func TestL1WECExclusive(t *testing.T) {
 	for i, a := range addrs {
 		h.BeginCycle(cyc)
 		if d.CanAccept() && !d.MSHRFull() {
-			d.Access(cyc, a, Load, wrong[i])
+			src := SrcDemand
+			if wrong[i] {
+				src = SrcWrongPath
+			}
+			d.Access(cyc, a, Load, src, -1)
 		}
 		h.Tick(cyc)
 		cyc++
@@ -316,13 +320,13 @@ func TestVictimCacheBehaviour(t *testing.T) {
 	d := h.DUnit(0)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	r1 := d.Access(cyc, 0x4000, Load, false)
+	r1 := d.Access(cyc, 0x4000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r1)
 	// Conflict evicts 0x4000 into the VC.
 	h.BeginCycle(cyc)
-	r2 := d.Access(cyc, 0x4000+8192, Load, false)
+	r2 := d.Access(cyc, 0x4000+8192, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r2)
@@ -331,7 +335,7 @@ func TestVictimCacheBehaviour(t *testing.T) {
 	}
 	// Re-access: VC hit at L1-hit latency.
 	h.BeginCycle(cyc)
-	r3 := d.Access(cyc, 0x4000, Load, false)
+	r3 := d.Access(cyc, 0x4000, Load, SrcDemand, -1)
 	if !r3.Done {
 		t.Fatal("VC hit did not complete immediately")
 	}
@@ -353,7 +357,7 @@ func TestNLPTaggedPrefetch(t *testing.T) {
 	var cyc uint64
 	// Demand miss on block 0 issues prefetch of block 1.
 	h.BeginCycle(cyc)
-	r1 := d.Access(cyc, 0x5000, Load, false)
+	r1 := d.Access(cyc, 0x5000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r1)
@@ -367,7 +371,7 @@ func TestNLPTaggedPrefetch(t *testing.T) {
 	// Demand access to the prefetched block: PB hit promotes to L1 and
 	// (tagged) issues the next prefetch.
 	h.BeginCycle(cyc)
-	r2 := d.Access(cyc, 0x5040, Load, false)
+	r2 := d.Access(cyc, 0x5040, Load, SrcDemand, -1)
 	if !r2.Done {
 		t.Fatal("PB hit should complete at hit latency")
 	}
@@ -389,7 +393,7 @@ func TestPrefetchNotDuplicated(t *testing.T) {
 	d := h.DUnit(0)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	r := d.Access(cyc, 0x6000, Load, true)
+	r := d.Access(cyc, 0x6000, Load, SrcWrongPath, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r)
@@ -397,11 +401,11 @@ func TestPrefetchNotDuplicated(t *testing.T) {
 	// promoted on the first, so only one prefetch can trigger; and a
 	// prefetch for a block already in flight or resident must not repeat.
 	h.BeginCycle(cyc)
-	d.Access(cyc, 0x6000, Load, false)
+	d.Access(cyc, 0x6000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	h.BeginCycle(cyc)
-	d.Access(cyc, 0x6000, Load, false)
+	d.Access(cyc, 0x6000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	if d.PrefIssued != 1 {
@@ -414,7 +418,7 @@ func TestStoreMissFetchesAndDirties(t *testing.T) {
 	d := h.DUnit(0)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	r := d.Access(cyc, 0x7000, Store, false)
+	r := d.Access(cyc, 0x7000, Store, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r)
@@ -423,7 +427,7 @@ func TestStoreMissFetchesAndDirties(t *testing.T) {
 	}
 	// Evicting the dirty block must produce a writeback.
 	h.BeginCycle(cyc)
-	r2 := d.Access(cyc, 0x7000+8192, Load, false)
+	r2 := d.Access(cyc, 0x7000+8192, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r2)
@@ -437,7 +441,7 @@ func TestSequentialUpdateCoherence(t *testing.T) {
 	var cyc uint64
 	// TU1 caches block 0x8000.
 	h.BeginCycle(cyc)
-	r := h.DUnit(1).Access(cyc, 0x8000, Load, false)
+	r := h.DUnit(1).Access(cyc, 0x8000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r)
@@ -495,7 +499,7 @@ func TestSeparateTUsDontShareL1(t *testing.T) {
 	h := newH(t, 2, nil)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	r := h.DUnit(0).Access(cyc, 0xA000, Load, false)
+	r := h.DUnit(0).Access(cyc, 0xA000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r)
@@ -505,7 +509,7 @@ func TestSeparateTUsDontShareL1(t *testing.T) {
 	// But the shared L2 now holds it: TU1's miss is an L2 hit.
 	h.BeginCycle(cyc)
 	start := cyc
-	r2 := h.DUnit(1).Access(cyc, 0xA000, Load, false)
+	r2 := h.DUnit(1).Access(cyc, 0xA000, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	fillWait(t, h, &cyc, r2)
@@ -519,7 +523,7 @@ func TestReset(t *testing.T) {
 	d := h.DUnit(0)
 	var cyc uint64
 	h.BeginCycle(cyc)
-	d.Access(cyc, 0x100, Load, false)
+	d.Access(cyc, 0x100, Load, SrcDemand, -1)
 	h.Tick(cyc)
 	cyc++
 	run(h, &cyc, 300)

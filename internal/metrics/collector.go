@@ -61,17 +61,17 @@ func NewCollector(interval uint64) *Collector {
 	return c
 }
 
-// ObserveMemAccess records a completed data access: issue cycle, value
-// cycle, and whether wrong execution issued it. Prefetch completions are
-// not reported here.
-func (c *Collector) ObserveMemAccess(tu int, start, done uint64, wrong bool) {
+// ObserveMemAccess records a completed data access: issuing instruction
+// (pc, -1 if unknown), issue cycle, value cycle, and whether wrong execution
+// issued it. Prefetch completions are not reported here.
+func (c *Collector) ObserveMemAccess(tu, pc int, start, done uint64, wrong bool) {
 	if c == nil {
 		return
 	}
 	lat := done - start
 	c.MemLatency.Observe(lat)
 	if c.Timeline != nil && lat >= c.MissSpanMin {
-		c.Timeline.MemSpan(tu, start, done, wrong)
+		c.Timeline.MemSpan(tu, start, done, wrong, pc)
 	}
 }
 

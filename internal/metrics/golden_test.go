@@ -55,9 +55,9 @@ func goldenCollector() *Collector {
 	commits, misses, accesses = 410, 4, 100
 	c.MaybeSample(200)
 
-	c.ObserveMemAccess(0, 10, 11, false) // L1 hit: latency 1
-	c.ObserveMemAccess(0, 20, 38, false) // L2 hit: latency 18
-	c.ObserveMemAccess(1, 30, 150, true) // wrong-execution DRAM miss
+	c.ObserveMemAccess(0, 40, 10, 11, false) // L1 hit: latency 1
+	c.ObserveMemAccess(0, 41, 20, 38, false) // L2 hit: latency 18
+	c.ObserveMemAccess(1, 42, 30, 150, true) // wrong-execution DRAM miss
 	c.ObserveLoadUse(2)
 	c.ObserveLoadUse(7)
 	c.ObserveWECPromotion(25)
@@ -123,8 +123,8 @@ func TestGoldenTimelineJSON(t *testing.T) {
 	} {
 		tl.Event(e)
 	}
-	tl.MemSpan(0, 80, 98, false)
-	tl.MemSpan(1, 130, 170, true)
+	tl.MemSpan(0, 80, 98, false, 7)
+	tl.MemSpan(1, 130, 170, true, -1)
 
 	var buf bytes.Buffer
 	if err := tl.WriteJSON(&buf); err != nil {

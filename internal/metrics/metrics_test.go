@@ -120,7 +120,7 @@ func TestSamplerKinds(t *testing.T) {
 
 func TestNilCollectorHooksAreSafe(t *testing.T) {
 	var c *Collector
-	c.ObserveMemAccess(0, 1, 5, false)
+	c.ObserveMemAccess(0, -1, 1, 5, false)
 	c.ObserveLoadUse(3)
 	c.ObserveWECPromotion(10)
 	c.ObserveThreadLifetime(100, true)
@@ -135,7 +135,7 @@ func TestTimelineCap(t *testing.T) {
 	tl := NewTimeline()
 	tl.MaxEvents = 3
 	for i := uint64(0); i < 10; i++ {
-		tl.MemSpan(0, i*10, i*10+5, false)
+		tl.MemSpan(0, i*10, i*10+5, false, -1)
 	}
 	if tl.Events() != 3 {
 		t.Errorf("events = %d, want 3", tl.Events())

@@ -188,14 +188,29 @@ func (t *Timeline) Event(e trace.Event) {
 	}
 }
 
-// MemSpan records one cache-miss span on the thread unit's memory track.
-func (t *Timeline) MemSpan(tu int, start, end uint64, wrong bool) {
+// MemSpan records one cache-miss span on the thread unit's memory track,
+// labelled with the issuing instruction's PC when known (pc >= 0).
+func (t *Timeline) MemSpan(tu int, start, end uint64, wrong bool, pc int) {
 	t.tu(tu) // ensure the TU's tracks are named even if no stage event hit it
 	name := "miss"
 	if wrong {
 		name = "wrong-miss"
 	}
-	t.span(memTID(tu), name, "mem", start, end)
+	if end <= start {
+		return
+	}
+	e := traceEvent{Name: name, Ph: "X", Ts: start, Dur: end - start, Pid: 0, Tid: memTID(tu), Cat: "mem"}
+	if pc >= 0 {
+		e.Args = map[string]any{"pc": pc}
+	}
+	t.add(e)
+}
+
+// AttribInstant records an attribution event (pollution, useful promotion)
+// as an instant on the thread unit's memory track.
+func (t *Timeline) AttribInstant(tu int, name string, cycle uint64, args map[string]any) {
+	t.tu(tu)
+	t.add(traceEvent{Name: name, Ph: "i", Ts: cycle, Pid: 0, Tid: memTID(tu), Cat: "attrib", S: "t", Args: args})
 }
 
 // Finish closes every open span at the given end cycle (wrong threads can

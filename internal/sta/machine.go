@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/asm"
+	"repro/internal/attrib"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -105,6 +106,13 @@ type Machine struct {
 	// Run; a nil collector costs nothing on the simulation's hot paths.
 	Metrics *metrics.Collector
 
+	// Attrib, when non-nil, receives fill-provenance and pollution events
+	// from every data unit: the prefetch-effectiveness attribution layer.
+	// Attach before Run; read results with Attrib.Report after. When
+	// Metrics is also attached, the attribution counters register in its
+	// registry and pollution/promotion instants go to its timeline.
+	Attrib *attrib.Collector
+
 	cfg  Config
 	prog *isa.Program
 	img  *memimg.Image
@@ -169,6 +177,7 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 // Run executes the program to completion and returns aggregate results.
 func (m *Machine) Run() (*Result, error) {
 	m.attachMetrics()
+	m.attachAttrib()
 	m.tus[0].startMain()
 	for !m.halted {
 		if m.cycle >= m.cfg.MaxCycles {
@@ -180,6 +189,7 @@ func (m *Machine) Run() (*Result, error) {
 	// Drain: let outstanding wrong threads disappear with the machine; the
 	// program result is already architectural.
 	m.Metrics.Finish(m.cycle)
+	m.Attrib.Finish()
 	return m.result(), nil
 }
 

@@ -12,6 +12,23 @@ import (
 	"repro/internal/trace"
 )
 
+// attachAttrib wires the attribution collector into every data unit and,
+// when a metrics collector is also attached, into its counter registry and
+// timeline. Called once at the top of Run, after attachMetrics.
+func (m *Machine) attachAttrib() {
+	a := m.Attrib
+	if a == nil {
+		return
+	}
+	m.hier.SetAttrib(a)
+	if c := m.Metrics; c != nil {
+		a.RegisterInto(c.Registry)
+		if a.Timeline == nil {
+			a.Timeline = c.Timeline
+		}
+	}
+}
+
 // attachMetrics wires the collector into the machine; called once at the
 // top of Run. With a nil collector the machine runs uninstrumented: every
 // hook site below reduces to an untaken nil check.

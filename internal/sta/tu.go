@@ -113,7 +113,8 @@ func (tu *threadUnit) drainWB(cycle uint64) {
 			return
 		}
 		tu.m.img.WriteWord(s.addr, s.val)
-		du.Access(cycle, s.addr, mem.Store, false)
+		// Write-back drain: the buffered store lost its issuing PC.
+		du.Access(cycle, s.addr, mem.Store, mem.SrcDemand, -1)
 	}
 	if tu.memBuf.pendingStores() == 0 {
 		tu.finishWB(cycle)
@@ -186,7 +187,8 @@ func (tu *threadUnit) mbStats() {
 // ---- core.DMem implementation ----
 
 // TryLoad performs the run-time dependence check, then the cache access.
-func (tu *threadUnit) TryLoad(cycle uint64, addr uint64, wrong bool) core.LoadResult {
+// wrong marks wrong-thread execution (a thread running past its abort).
+func (tu *threadUnit) TryLoad(cycle uint64, addr uint64, wrong bool, pc int) core.LoadResult {
 	if tu.parMode {
 		if val, st := tu.memBuf.lookup(addr, cycle); st == mbHit {
 			return core.LoadResult{Status: core.LoadForwarded, Value: val}
@@ -198,28 +200,32 @@ func (tu *threadUnit) TryLoad(cycle uint64, addr uint64, wrong bool) core.LoadRe
 	if !du.CanAccept() {
 		return core.LoadResult{Status: core.LoadNoPort}
 	}
+	src := mem.SrcDemand
+	if wrong {
+		src = mem.SrcWrongThread
+	}
 	val := tu.m.img.ReadWord(addr & mem.PhysMask)
-	req := du.Access(cycle, addr, mem.Load, wrong)
+	req := du.Access(cycle, addr, mem.Load, src, pc)
 	return core.LoadResult{Status: core.LoadIssued, Value: val, Req: req}
 }
 
 // WrongLoad issues a squashed wrong-path load purely for cache effects.
-func (tu *threadUnit) WrongLoad(cycle uint64, addr uint64) bool {
+func (tu *threadUnit) WrongLoad(cycle uint64, addr uint64, pc int) bool {
 	du := tu.du()
 	if !du.CanAccept() {
 		return false
 	}
-	du.Access(cycle, addr, mem.Load, true)
+	du.Access(cycle, addr, mem.Load, mem.SrcWrongPath, pc)
 	return true
 }
 
 // CommitStore routes a committed store: buffered in the speculative memory
 // buffer during a parallel thread, written straight through (with update
 // coherence) during sequential execution.
-func (tu *threadUnit) CommitStore(cycle uint64, addr uint64, val int64, target bool) {
+func (tu *threadUnit) CommitStore(cycle uint64, addr uint64, val int64, target bool, pc int) {
 	if !tu.parMode {
 		tu.m.img.WriteWord(addr, val)
-		tu.du().Access(cycle, addr, mem.Store, false)
+		tu.du().Access(cycle, addr, mem.Store, mem.SrcDemand, pc)
 		tu.m.hier.SequentialUpdate(tu.id, addr)
 		return
 	}

@@ -101,6 +101,34 @@ func (s *Sim) Add(other *Sim) {
 	s.UpdateTraffic += other.UpdateTraffic
 }
 
+// CheckInvariants verifies the cross-counter relations that must hold for
+// any run on any configuration: a violated relation means a counter is
+// being bumped on the wrong path, not that the workload is unusual. The
+// harness asserts this after every simulation.
+func (s *Sim) CheckInvariants() error {
+	rels := []struct {
+		name     string
+		lhs, rhs uint64 // lhs must be <= rhs
+	}{
+		{"WrongUseful <= WECHits", s.WrongUseful, s.WECHits},
+		{"PrefUseful <= PrefIssued", s.PrefUseful, s.PrefIssued},
+		{"WrongUseful <= WECInserts", s.WrongUseful, s.WECInserts},
+		{"L1DMisses <= L1DAccesses", s.L1DMisses, s.L1DAccesses},
+		{"WECHits <= L1D hits", s.WECHits, s.L1DAccesses - s.L1DMisses},
+		{"L1DAccesses <= L1DTraffic", s.L1DAccesses, s.L1DTraffic},
+		{"Mispredicts <= Branches", s.Mispredicts, s.Branches},
+		{"ParCycles <= Cycles", s.ParCycles, s.Cycles},
+		{"L2Misses <= L2Accesses", s.L2Misses, s.L2Accesses},
+		{"WrongPathLoads+WrongThLoads <= WrongLoads", s.WrongPathLoads + s.WrongThLoads, s.WrongLoads},
+	}
+	for _, r := range rels {
+		if r.lhs > r.rhs {
+			return fmt.Errorf("stats: invariant %s violated: %d > %d", r.name, r.lhs, r.rhs)
+		}
+	}
+	return nil
+}
+
 // Speedup returns baselineCycles/cycles: >1 means faster than baseline.
 func Speedup(baselineCycles, cycles uint64) float64 {
 	if cycles == 0 {
