@@ -1,0 +1,187 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/memimg"
+)
+
+// reverse mnemonic tables for the encoder, built from the parser's own
+// tables so the two can never drift apart.
+var revOps = func() map[isa.Op]string {
+	m := make(map[isa.Op]string)
+	for _, tbl := range []map[string]isa.Op{op3Table, fp3Table, opITable, brTable} {
+		for name, op := range tbl {
+			m[op] = name
+		}
+	}
+	return m
+}()
+
+// encodeProgram renders an assembled program back into parser-accepted
+// text: every instruction index gets a canonical label (so resolved branch
+// targets re-encode as symbolic ones), and the initialized data image is
+// re-emitted as one byte-aligned blob of .word directives. Returns an
+// error for programs that cannot round-trip (e.g. an Op with no mnemonic).
+func encodeProgram(p *isa.Program) (string, error) {
+	var sb strings.Builder
+	// Data: the bump allocator starts at DataBase, so a single align-1
+	// symbol lands exactly there and offsets reproduce absolute addresses.
+	img := memimg.New()
+	LoadData(p, img)
+	var end uint64
+	for _, seg := range p.Data {
+		if seg.Addr < DataBase {
+			return "", fmt.Errorf("data below DataBase: %#x", seg.Addr)
+		}
+		if e := seg.Addr + uint64(len(seg.Bytes)); e > end {
+			end = e
+		}
+	}
+	if end > 0 {
+		fmt.Fprintf(&sb, ".data blob %d 1\n", end-DataBase)
+		for addr := uint64(DataBase); addr < end; addr += 8 {
+			if v := img.ReadWord(addr); v != 0 {
+				fmt.Fprintf(&sb, ".word blob %d %d\n", addr-DataBase, v)
+			}
+		}
+	}
+	label := func(target int64) (string, error) {
+		if target < 0 || target > int64(len(p.Insts)) {
+			return "", fmt.Errorf("control target %d out of range", target)
+		}
+		return fmt.Sprintf("L%d", target), nil
+	}
+	for pc, in := range p.Insts {
+		fmt.Fprintf(&sb, "L%d:\n", pc)
+		op := in.Op
+		switch {
+		case op == isa.NOP || op == isa.HALT || op == isa.TSAGD ||
+			op == isa.THEND || op == isa.ABORT:
+			fmt.Fprintf(&sb, "  %s\n", strings.ToLower(op.String()))
+		case op == isa.LI:
+			fmt.Fprintf(&sb, "  li r%d, %d\n", in.Rd, in.Imm)
+		case op == isa.FLI:
+			f := math.Float64frombits(uint64(in.Imm))
+			fmt.Fprintf(&sb, "  fli f%d, %s\n", in.Rd, strconv.FormatFloat(f, 'g', -1, 64))
+		case op == isa.JMP, op == isa.FORK:
+			l, err := label(in.Imm)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "  %s %s\n", strings.ToLower(op.String()), l)
+		case op == isa.JAL:
+			l, err := label(in.Imm)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "  jal r%d, %s\n", in.Rd, l)
+		case op == isa.JR:
+			fmt.Fprintf(&sb, "  jr r%d\n", in.Rs1)
+		case op == isa.BEGIN:
+			var regs []string
+			for r := 0; r < isa.NumIntRegs; r++ {
+				if in.Imm&(1<<uint(r)) != 0 {
+					regs = append(regs, fmt.Sprintf("r%d", r))
+				}
+			}
+			fmt.Fprintf(&sb, "  begin %s\n", strings.Join(regs, ", "))
+		case op == isa.TSA:
+			fmt.Fprintf(&sb, "  tsa %d(r%d)\n", in.Imm, in.Rs1)
+		case op == isa.TST:
+			fmt.Fprintf(&sb, "  tst r%d, %d(r%d)\n", in.Rs2, in.Imm, in.Rs1)
+		case op == isa.LD:
+			fmt.Fprintf(&sb, "  ld r%d, %d(r%d)\n", in.Rd, in.Imm, in.Rs1)
+		case op == isa.FLD:
+			fmt.Fprintf(&sb, "  fld f%d, %d(r%d)\n", in.Rd, in.Imm, in.Rs1)
+		case op == isa.ST:
+			fmt.Fprintf(&sb, "  st r%d, %d(r%d)\n", in.Rs2, in.Imm, in.Rs1)
+		case op == isa.FST:
+			fmt.Fprintf(&sb, "  fst f%d, %d(r%d)\n", in.Rs2, in.Imm, in.Rs1)
+		case op.IsBranch():
+			l, err := label(in.Imm)
+			if err != nil {
+				return "", err
+			}
+			mn, ok := revOps[op]
+			if !ok {
+				return "", fmt.Errorf("no mnemonic for branch %v", op)
+			}
+			fmt.Fprintf(&sb, "  %s r%d, r%d, %s\n", mn, in.Rs1, in.Rs2, l)
+		default:
+			mn, ok := revOps[op]
+			if !ok {
+				return "", fmt.Errorf("no mnemonic for %v", op)
+			}
+			pre := "r"
+			if _, fp := fp3Table[mn]; fp {
+				pre = "f"
+			}
+			if _, immForm := opITable[mn]; immForm {
+				fmt.Fprintf(&sb, "  %s r%d, r%d, %d\n", mn, in.Rd, in.Rs1, in.Imm)
+			} else {
+				fmt.Fprintf(&sb, "  %s %s%d, %s%d, %s%d\n", mn, pre, in.Rd, pre, in.Rs1, pre, in.Rs2)
+			}
+		}
+	}
+	// A label may legally point one past the last instruction.
+	fmt.Fprintf(&sb, "L%d:\n", len(p.Insts))
+	return sb.String(), nil
+}
+
+// FuzzAsmParse drives the parse -> encode -> parse round-trip: any source
+// the parser accepts must disassemble into text the parser accepts again,
+// producing the identical instruction stream and initial memory image.
+func FuzzAsmParse(f *testing.F) {
+	seeds := []string{
+		"; empty program with a comment\n",
+		"li r1, 42\nhalt\n",
+		".data arr 64\n.word arr 0 7\n.word arr 8 -9\nli r1, &arr\nld r2, 0(r1)\nst r2, 8(r1)\nhalt\n",
+		"loop:\n  addi r1, r1, 1\n  blt r1, r2, loop\n  halt\n",
+		"begin r1, r2, r3\nbody: add r9, r1, r0\naddi r1, r1, 1\nfork body\ntsa 0(r5)\ntsagd\ntst r9, 0(r5)\nblt r1, r2, cont\nabort\njmp after\ncont: thend\nafter: halt\n",
+		"fli f1, 2.5\nfadd f2, f1, f1\nfst f2, 0(r1)\nfld f3, 0(r1)\nhalt\n",
+		"jal r31, sub\nhalt\nsub: jr r31\n",
+		".data d 16 8\n.float d 0 3.25\nli r1, &d\nfld f1, 0(r1)\nhalt\n",
+		"x: y: z: nop ; stacked labels\njmp x\n",
+		"srai r3, r2, 0x1f\nsltu r4, r3, r2\nrem r5, r4, r2\nhalt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Parse(src)
+		if err != nil {
+			return // invalid input: nothing to round-trip
+		}
+		text, err := encodeProgram(p1)
+		if err != nil {
+			t.Fatalf("accepted program failed to encode: %v\nsource:\n%s", err, src)
+		}
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse of encoded program failed: %v\nencoded:\n%s", err, text)
+		}
+		if len(p1.Insts) != len(p2.Insts) {
+			t.Fatalf("instruction count %d -> %d\nencoded:\n%s", len(p1.Insts), len(p2.Insts), text)
+		}
+		for i := range p1.Insts {
+			if p1.Insts[i] != p2.Insts[i] {
+				t.Fatalf("inst %d: %+v -> %+v\nencoded:\n%s", i, p1.Insts[i], p2.Insts[i], text)
+			}
+		}
+		if p1.Entry != p2.Entry {
+			t.Fatalf("entry %d -> %d", p1.Entry, p2.Entry)
+		}
+		img1, img2 := memimg.New(), memimg.New()
+		LoadData(p1, img1)
+		LoadData(p2, img2)
+		if c1, c2 := img1.Checksum(), img2.Checksum(); c1 != c2 {
+			t.Fatalf("data image checksum %#x -> %#x\nencoded:\n%s", c1, c2, text)
+		}
+	})
+}

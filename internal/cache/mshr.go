@@ -2,12 +2,24 @@ package cache
 
 import "fmt"
 
+// mshrEntry is one outstanding block with its waiter tokens. The waiters
+// slice keeps its capacity across reuse of the slot, so steady-state merges
+// allocate nothing.
+type mshrEntry struct {
+	block   uint64
+	waiters []int64
+	valid   bool
+}
+
 // MSHRFile tracks outstanding misses so that concurrent requests for the
 // same block merge into one fill from the next level. Waiters are opaque
-// request tokens owned by the memory system.
+// request tokens owned by the memory system. Entries live in a fixed array
+// scanned linearly; MSHR files are small (single digits to low tens), so
+// the scan beats a map and never allocates.
 type MSHRFile struct {
 	max     int
-	pending map[uint64][]int64 // block address -> waiting request tokens
+	entries []mshrEntry
+	n       int // valid entries
 
 	// Statistics.
 	Allocations uint64
@@ -20,53 +32,79 @@ func NewMSHRFile(max int) *MSHRFile {
 	if max <= 0 {
 		max = 1
 	}
-	return &MSHRFile{max: max, pending: make(map[uint64][]int64, max)}
+	return &MSHRFile{max: max, entries: make([]mshrEntry, max)}
+}
+
+func (f *MSHRFile) find(block uint64) *mshrEntry {
+	for i := range f.entries {
+		if f.entries[i].valid && f.entries[i].block == block {
+			return &f.entries[i]
+		}
+	}
+	return nil
 }
 
 // Lookup reports whether block already has an outstanding miss.
-func (f *MSHRFile) Lookup(block uint64) bool {
-	_, ok := f.pending[block]
-	return ok
-}
+func (f *MSHRFile) Lookup(block uint64) bool { return f.find(block) != nil }
 
 // Outstanding returns the number of blocks currently in flight.
-func (f *MSHRFile) Outstanding() int { return len(f.pending) }
+func (f *MSHRFile) Outstanding() int { return f.n }
 
 // Full reports whether a new block allocation would be refused.
-func (f *MSHRFile) Full() bool { return len(f.pending) >= f.max }
+func (f *MSHRFile) Full() bool { return f.n >= f.max }
 
 // Add registers token as waiting on block. It returns true if this
 // allocated a new entry (the caller must then issue the fill request) and
 // false if the miss merged into an existing entry. If the file is full and
 // block has no entry, ok is false and the caller must retry later.
 func (f *MSHRFile) Add(block uint64, token int64) (allocated, ok bool) {
-	if waiters, exists := f.pending[block]; exists {
-		f.pending[block] = append(waiters, token)
-		f.Merges++
-		return false, true
+	var free *mshrEntry
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.valid {
+			if e.block == block {
+				e.waiters = append(e.waiters, token)
+				f.Merges++
+				return false, true
+			}
+			continue
+		}
+		if free == nil {
+			free = e
+		}
 	}
-	if len(f.pending) >= f.max {
+	if free == nil {
 		f.FullStalls++
 		return false, false
 	}
-	f.pending[block] = []int64{token}
+	free.block = block
+	free.waiters = append(free.waiters[:0], token)
+	free.valid = true
+	f.n++
 	f.Allocations++
 	return true, true
 }
 
 // Complete removes block's entry and returns the waiting tokens in arrival
-// order. Completing an absent block is a simulator bug and panics.
+// order. The returned slice aliases the entry's storage and is valid only
+// until the slot is next allocated; callers consume it immediately.
+// Completing an absent block is a simulator bug and panics.
 func (f *MSHRFile) Complete(block uint64) []int64 {
-	waiters, ok := f.pending[block]
-	if !ok {
+	e := f.find(block)
+	if e == nil {
 		panic(fmt.Sprintf("cache: MSHR complete for absent block %#x", block))
 	}
-	delete(f.pending, block)
-	return waiters
+	e.valid = false
+	f.n--
+	return e.waiters
 }
 
 // Reset clears all entries and statistics.
 func (f *MSHRFile) Reset() {
-	f.pending = make(map[uint64][]int64, f.max)
+	for i := range f.entries {
+		f.entries[i].valid = false
+		f.entries[i].waiters = f.entries[i].waiters[:0]
+	}
+	f.n = 0
 	f.Allocations, f.Merges, f.FullStalls = 0, 0, 0
 }

@@ -158,6 +158,15 @@ type robEntry struct {
 	src1, src2 operand
 	use1, use2 bool
 
+	// Intrusive wake-up chain: waitHead is the first waiter on this
+	// entry's result; each waiter link encodes consumer slot*2+operand.
+	// wNext holds this entry's own next-waiter links, one per operand.
+	// Registration happens at dispatch (readOperand returned a non-ready
+	// producer); broadcast consumes the chain. Squash recovery rebuilds
+	// all chains from the surviving entries.
+	waitHead int32
+	wNext    [2]int32
+
 	ival int64
 	fval float64
 
@@ -209,7 +218,20 @@ type Core struct {
 	robCount  int
 	renameInt [isa.NumIntRegs]int // producer ROB slot, -1 = architectural
 	renameFP  [isa.NumFPRegs]int
-	lsq       []int // ROB slots of in-flight memory ops, program order
+
+	// LSQ ring buffer: ROB slots of in-flight memory ops in program
+	// order. Commit always retires the front (program order), so removal
+	// is a pop, not a splice.
+	lsqBuf   []int
+	lsqHead  int
+	lsqCount int
+
+	// Occupancy bitmaps over ROB slots, one bit per slot. readyMask marks
+	// dispatched entries whose operands are all ready (issue candidates);
+	// execMask marks executing entries awaiting completion. Issue and
+	// complete iterate set bits in age order instead of scanning the ROB.
+	readyMask []uint64
+	execMask  []uint64
 
 	fetchPC       int
 	fetchStopped  bool
@@ -245,14 +267,18 @@ func New(cfg Config, prog *isa.Program, imem *mem.IUnit, dmem DMem, env Env) (*C
 	if err != nil {
 		return nil, err
 	}
+	words := (cfg.ROBSize + 63) / 64
 	c := &Core{
-		cfg:  cfg,
-		dmem: dmem,
-		env:  env,
-		imem: imem,
-		bp:   bp,
-		prog: prog,
-		rob:  make([]robEntry, cfg.ROBSize),
+		cfg:       cfg,
+		dmem:      dmem,
+		env:       env,
+		imem:      imem,
+		bp:        bp,
+		prog:      prog,
+		rob:       make([]robEntry, cfg.ROBSize),
+		lsqBuf:    make([]int, cfg.LSQSize),
+		readyMask: make([]uint64, words),
+		execMask:  make([]uint64, words),
 	}
 	c.clearPipeline()
 	return c, nil
@@ -331,6 +357,7 @@ func (c *Core) ContinueAt(pc int) {
 func (c *Core) Predictor() *bpred.Predictor { return c.bp }
 
 func (c *Core) clearPipeline() {
+	c.releaseInFlight()
 	c.robHead, c.robTail, c.robCount = 0, 0, 0
 	for i := range c.renameInt {
 		c.renameInt[i] = -1
@@ -338,10 +365,27 @@ func (c *Core) clearPipeline() {
 	for i := range c.renameFP {
 		c.renameFP[i] = -1
 	}
-	c.lsq = c.lsq[:0]
+	c.lsqHead, c.lsqCount = 0, 0
+	for i := range c.readyMask {
+		c.readyMask[i] = 0
+		c.execMask[i] = 0
+	}
 	c.wrongQ = c.wrongQ[:0]
 	c.fetchStopped = false
 	c.redirectStall = 0
+}
+
+// releaseInFlight returns every outstanding memory request held by live ROB
+// entries to the request pool (the pool defers reuse while the request is
+// still pending in an MSHR).
+func (c *Core) releaseInFlight() {
+	for p := 0; p < c.robCount; p++ {
+		e := &c.rob[(c.robHead+p)%len(c.rob)]
+		if e.req != nil {
+			e.req.Release()
+			e.req = nil
+		}
+	}
 }
 
 // DebugHead describes the ROB head entry for diagnostics.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/isa"
 )
@@ -13,6 +14,9 @@ var TraceBranches int
 // RedirectPenalty is the fixed front-end refill bubble after a branch
 // misprediction recovery, on top of the natural drain/refill latency.
 const RedirectPenalty = 3
+
+// neverWake is the NextWake value of a component with no pending events.
+const neverWake = math.MaxUint64
 
 // Step advances the pipeline one cycle. Order within the cycle: commit,
 // execute completion (and branch resolution), issue, wrong-path load queue
@@ -32,8 +36,90 @@ func (c *Core) Step(cycle uint64) bool {
 	return true
 }
 
+// NextWake returns the earliest future cycle at which stepping this core
+// could change any observable state, given that cycle has just been stepped.
+// neverWake means the core is inert until some external event (a memory
+// fill, a thread start) arrives. The bound is conservative: it may be
+// earlier than the next real state change, never later.
+func (c *Core) NextWake(cycle uint64) uint64 {
+	if !c.running && c.robCount == 0 && len(c.wrongQ) == 0 {
+		return neverWake
+	}
+	if len(c.wrongQ) > 0 {
+		return cycle + 1 // wrong-load queue drains under port arbitration
+	}
+	// Fetch side: if the front end would attempt a fetch next cycle it can
+	// dispatch or count an I-cache stall, so the cycle must be stepped.
+	if c.running && !c.fetchStopped {
+		if c.redirectStall > 0 {
+			return cycle + 1 // decrements every fetched cycle
+		}
+		if c.robCount < len(c.rob) {
+			in := c.prog.At(c.fetchPC)
+			if !(in.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize) {
+				return cycle + 1
+			}
+		}
+	}
+	if c.robCount > 0 && c.rob[c.robHead].state == stDone {
+		return cycle + 1 // commit can retire
+	}
+	for _, w := range c.readyMask {
+		if w != 0 {
+			return cycle + 1 // an entry can attempt issue
+		}
+	}
+	// Only executing entries remain: wake at the earliest completion. An
+	// entry waiting on a memory request that is not yet Done is woken by
+	// the hierarchy's fill event instead.
+	wake := uint64(neverWake)
+	for wi, word := range c.execMask {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			e := &c.rob[wi<<6|b]
+			if e.req != nil {
+				if e.req.Done && e.req.DoneCycle < wake {
+					wake = e.req.DoneCycle
+				}
+				continue
+			}
+			if e.doneAt < wake {
+				wake = e.doneAt
+			}
+		}
+	}
+	if wake != neverWake && wake <= cycle {
+		wake = cycle + 1
+	}
+	return wake
+}
+
+// ---- bitmap and wait-chain helpers -------------------------------------
+
+func maskSet(m []uint64, i int)   { m[i>>6] |= 1 << (uint(i) & 63) }
+func maskClear(m []uint64, i int) { m[i>>6] &^= 1 << (uint(i) & 63) }
+
+// entryReady reports whether a dispatched entry has all operands ready.
+func entryReady(e *robEntry) bool {
+	return (!e.use1 || e.src1.ready) && (!e.use2 || e.src2.ready)
+}
+
+// addWaiter links waiter slot's operand op onto producer prod's wake-up
+// chain. Node encoding: slot*2 + op.
+func (c *Core) addWaiter(prod, slot, op int) {
+	w := &c.rob[slot]
+	w.wNext[op] = c.rob[prod].waitHead
+	c.rob[prod].waitHead = int32(slot<<1 | op)
+}
+
 func (c *Core) slotAt(agePos int) int {
 	return (c.robHead + agePos) % len(c.rob)
+}
+
+// posOf is the age position of a ROB slot (inverse of slotAt).
+func (c *Core) posOf(slot int) int {
+	return (slot - c.robHead + len(c.rob)) % len(c.rob)
 }
 
 // commit retires up to IssueWidth done entries from the ROB head, applying
@@ -133,12 +219,31 @@ func (c *Core) retireROBHead() {
 	c.robCount--
 }
 
+// popLSQ removes a committing memory op from the LSQ. Commit proceeds in
+// program order and the LSQ is kept in program order, so the committing op
+// is always the ring front; the scan below is a defensive fallback only.
 func (c *Core) popLSQ(idx int) {
-	for i, s := range c.lsq {
-		if s == idx {
-			c.lsq = append(c.lsq[:i], c.lsq[i+1:]...)
-			return
+	if c.lsqCount > 0 && c.lsqBuf[c.lsqHead] == idx {
+		c.lsqHead++
+		if c.lsqHead == len(c.lsqBuf) {
+			c.lsqHead = 0
 		}
+		c.lsqCount--
+		return
+	}
+	for i := 0; i < c.lsqCount; i++ {
+		j := (c.lsqHead + i) % len(c.lsqBuf)
+		if c.lsqBuf[j] != idx {
+			continue
+		}
+		// Shift later entries forward one position, preserving age order.
+		for k := i; k < c.lsqCount-1; k++ {
+			from := (c.lsqHead + k + 1) % len(c.lsqBuf)
+			to := (c.lsqHead + k) % len(c.lsqBuf)
+			c.lsqBuf[to] = c.lsqBuf[from]
+		}
+		c.lsqCount--
+		return
 	}
 }
 
@@ -146,6 +251,7 @@ func (c *Core) popLSQ(idx int) {
 // queue is preserved: already-extracted wrong loads keep prefetching.
 func (c *Core) squashAll() {
 	c.Stats.SquashedInsts += uint64(c.robCount)
+	c.releaseInFlight()
 	c.robHead, c.robTail, c.robCount = 0, 0, 0
 	for i := range c.renameInt {
 		c.renameInt[i] = -1
@@ -153,55 +259,115 @@ func (c *Core) squashAll() {
 	for i := range c.renameFP {
 		c.renameFP[i] = -1
 	}
-	c.lsq = c.lsq[:0]
+	c.lsqHead, c.lsqCount = 0, 0
+	for i := range c.readyMask {
+		c.readyMask[i] = 0
+		c.execMask[i] = 0
+	}
 	c.fetchStopped = true
 }
 
 // complete marks finished executions done, broadcasts results to waiting
-// consumers, and resolves branches (possibly triggering recovery).
+// consumers, and resolves branches (possibly triggering recovery). Only
+// entries in the executing set are visited, in age order.
 func (c *Core) complete(cycle uint64) {
-	for p := 0; p < c.robCount; p++ {
-		idx := c.slotAt(p)
-		e := &c.rob[idx]
-		if e.state == stExecuting && e.req != nil && e.req.Done && e.req.DoneCycle <= cycle {
-			e.state = stDone
-			c.broadcast(idx)
-			continue
+	if c.robCount == 0 {
+		return
+	}
+	n := len(c.rob)
+	end := c.robHead + c.robCount
+	if end <= n {
+		c.completeRange(cycle, c.robHead, end)
+		return
+	}
+	if !c.completeRange(cycle, c.robHead, n) {
+		return
+	}
+	c.completeRange(cycle, 0, end-n)
+}
+
+// completeRange processes executing entries with slot index in [lo, hi).
+// Returns false when a branch recovery squashed younger entries (the
+// executing set was rebuilt; iteration must stop).
+func (c *Core) completeRange(cycle uint64, lo, hi int) bool {
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		word := c.execMask[w]
+		if w == lo>>6 {
+			word &^= (1 << (uint(lo) & 63)) - 1
 		}
-		if e.state == stExecuting && e.req == nil && e.doneAt <= cycle {
+		if w == (hi-1)>>6 {
+			if top := uint(hi-1)&63 + 1; top < 64 {
+				word &= (1 << top) - 1
+			}
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			idx := w<<6 | b
+			e := &c.rob[idx]
+			if e.req != nil {
+				if e.req.Done && e.req.DoneCycle <= cycle {
+					e.req.Release()
+					e.req = nil
+					e.state = stDone
+					maskClear(c.execMask, idx)
+					c.broadcast(idx)
+				}
+				continue
+			}
+			if e.doneAt > cycle {
+				continue
+			}
 			e.state = stDone
+			maskClear(c.execMask, idx)
 			c.broadcast(idx)
 			if e.inst.Op.IsBranch() || e.inst.Op == isa.JR {
-				if c.resolveControl(cycle, idx, p) {
-					return // recovery squashed everything younger
+				if c.resolveControl(cycle, idx, c.posOf(idx)) {
+					return false // recovery squashed everything younger
 				}
 			}
 		}
 	}
+	return true
 }
 
-// broadcast forwards a completed entry's result to consumers waiting on it.
+// broadcast forwards a completed entry's result to the consumers chained on
+// its wake-up list.
 func (c *Core) broadcast(idx int) {
 	e := &c.rob[idx]
-	for p := 0; p < c.robCount; p++ {
-		k := c.slotAt(p)
-		if k == idx {
-			continue
-		}
+	node := e.waitHead
+	e.waitHead = -1
+	for node >= 0 {
+		k := int(node >> 1)
+		op := int(node & 1)
 		w := &c.rob[k]
-		if w.state != stDispatched {
-			continue
+		next := w.wNext[op]
+		w.wNext[op] = -1
+		// Validate the link: the waiter must still be a live dispatched
+		// entry waiting on this producer (squash rebuilds chains, so stale
+		// links should not occur; this guards the invariant cheaply).
+		if w.state == stDispatched && c.posOf(k) < c.robCount {
+			if op == 0 {
+				if w.use1 && !w.src1.ready && w.src1.rob == idx {
+					w.src1.ready = true
+					w.src1.ival = e.ival
+					w.src1.fval = e.fval
+					if entryReady(w) {
+						maskSet(c.readyMask, k)
+					}
+				}
+			} else {
+				if w.use2 && !w.src2.ready && w.src2.rob == idx {
+					w.src2.ready = true
+					w.src2.ival = e.ival
+					w.src2.fval = e.fval
+					if entryReady(w) {
+						maskSet(c.readyMask, k)
+					}
+				}
+			}
 		}
-		if w.use1 && !w.src1.ready && w.src1.rob == idx {
-			w.src1.ready = true
-			w.src1.ival = e.ival
-			w.src1.fval = e.fval
-		}
-		if w.use2 && !w.src2.ready && w.src2.rob == idx {
-			w.src2.ready = true
-			w.src2.ival = e.ival
-			w.src2.fval = e.fval
-		}
+		node = next
 	}
 }
 
@@ -242,12 +408,17 @@ func (c *Core) resolveControl(cycle uint64, idx, agePos int) bool {
 
 // recover squashes all entries younger than the entry at agePos, extracts
 // ready wrong-path loads into the wrong queue (wp configurations), rebuilds
-// the rename maps, and redirects fetch.
+// the rename maps, occupancy bitmaps, and wake-up chains, and redirects
+// fetch.
 func (c *Core) recover(cycle uint64, agePos, nextPC int) {
 	for p := agePos + 1; p < c.robCount; p++ {
 		idx := c.slotAt(p)
 		e := &c.rob[idx]
 		c.Stats.SquashedInsts++
+		if e.req != nil {
+			e.req.Release()
+			e.req = nil
+		}
 		if c.cfg.WrongPathExec && e.inst.Op.IsLoad() && !e.memIssued {
 			// Compute the effective address if its operand is ready: these
 			// are the "ready" wrong-path loads of Figure 3 that continue to
@@ -264,22 +435,31 @@ func (c *Core) recover(cycle uint64, agePos, nextPC int) {
 	// Drop squashed entries.
 	newCount := agePos + 1
 	c.robTail = c.slotAt(newCount)
-	// Filter the LSQ: keep only surviving slots.
-	kept := c.lsq[:0]
-	for _, s := range c.lsq {
-		pos := (s - c.robHead + len(c.rob)) % len(c.rob)
-		if pos < newCount {
-			kept = append(kept, s)
+	// Truncate the LSQ: survivors are a program-order prefix of the ring.
+	kept := 0
+	for i := 0; i < c.lsqCount; i++ {
+		s := c.lsqBuf[(c.lsqHead+i)%len(c.lsqBuf)]
+		if c.posOf(s) >= newCount {
+			break
 		}
+		kept++
 	}
-	c.lsq = kept
+	c.lsqCount = kept
 	c.robCount = newCount
-	// Rebuild rename maps from the surviving entries, oldest to youngest.
+	// Rebuild rename maps, bitmaps, and wake-up chains from the surviving
+	// entries, oldest to youngest.
 	for i := range c.renameInt {
 		c.renameInt[i] = -1
 	}
 	for i := range c.renameFP {
 		c.renameFP[i] = -1
+	}
+	for i := range c.readyMask {
+		c.readyMask[i] = 0
+		c.execMask[i] = 0
+	}
+	for p := 0; p < c.robCount; p++ {
+		c.rob[c.slotAt(p)].waitHead = -1
 	}
 	for p := 0; p < c.robCount; p++ {
 		idx := c.slotAt(p)
@@ -291,52 +471,99 @@ func (c *Core) recover(cycle uint64, agePos, nextPC int) {
 				c.renameInt[e.inst.Rd] = idx
 			}
 		}
+		switch e.state {
+		case stDispatched:
+			e.wNext[0], e.wNext[1] = -1, -1
+			if e.use1 && !e.src1.ready {
+				c.addWaiter(e.src1.rob, idx, 0)
+			}
+			if e.use2 && !e.src2.ready {
+				c.addWaiter(e.src2.rob, idx, 1)
+			}
+			if entryReady(e) {
+				maskSet(c.readyMask, idx)
+			}
+		case stExecuting:
+			maskSet(c.execMask, idx)
+		}
 	}
 	c.fetchPC = nextPC
 	c.fetchStopped = false
 	c.redirectStall = RedirectPenalty
 }
 
-// issue scans the ROB in age order and starts execution of ready entries,
-// bounded by issue width and functional-unit availability.
+// issue starts execution of ready entries in age order, bounded by issue
+// width and functional-unit availability. Only entries in the ready set are
+// visited.
 func (c *Core) issue(cycle uint64) {
+	if c.robCount == 0 {
+		return
+	}
 	issued := 0
-	for p := 0; p < c.robCount && issued < c.cfg.IssueWidth; p++ {
-		idx := c.slotAt(p)
-		e := &c.rob[idx]
-		if e.state != stDispatched {
-			continue
+	n := len(c.rob)
+	end := c.robHead + c.robCount
+	if end <= n {
+		c.issueRange(cycle, c.robHead, end, &issued)
+		return
+	}
+	c.issueRange(cycle, c.robHead, n, &issued)
+	if issued < c.cfg.IssueWidth {
+		c.issueRange(cycle, 0, end-n, &issued)
+	}
+}
+
+// issueRange attempts issue for ready entries with slot index in [lo, hi).
+func (c *Core) issueRange(cycle uint64, lo, hi int, issued *int) {
+	for w := lo >> 6; w <= (hi-1)>>6 && *issued < c.cfg.IssueWidth; w++ {
+		word := c.readyMask[w]
+		if w == lo>>6 {
+			word &^= (1 << (uint(lo) & 63)) - 1
 		}
-		if (e.use1 && !e.src1.ready) || (e.use2 && !e.src2.ready) {
-			continue
+		if w == (hi-1)>>6 {
+			if top := uint(hi-1)&63 + 1; top < 64 {
+				word &= (1 << top) - 1
+			}
 		}
-		in := e.inst
-		switch {
-		case in.Op.IsLoad():
-			if c.issueLoad(cycle, idx, p) {
-				issued++
+		for word != 0 && *issued < c.cfg.IssueWidth {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			idx := w<<6 | b
+			e := &c.rob[idx]
+			in := e.inst
+			switch {
+			case in.Op.IsLoad():
+				if c.issueLoad(cycle, idx) {
+					maskClear(c.readyMask, idx)
+					maskSet(c.execMask, idx)
+					*issued++
+				}
+			case in.Op.IsStore():
+				// Stores compute address and data; the cache access happens
+				// at commit (sequential mode) or write-back drain (parallel
+				// mode).
+				e.addr = isa.EffAddr(in, e.src1.ival)
+				e.addrKnown = true
+				if in.Op == isa.FST {
+					e.storeBits = int64(math.Float64bits(e.src2.fval))
+				} else {
+					e.storeBits = e.src2.ival
+				}
+				e.valKnown = true
+				e.state = stExecuting
+				e.doneAt = cycle + 1
+				maskClear(c.readyMask, idx)
+				maskSet(c.execMask, idx)
+				*issued++
+			default:
+				fu := in.Op.FU()
+				if !c.takeFU(fu) {
+					continue
+				}
+				c.execALU(cycle, idx)
+				maskClear(c.readyMask, idx)
+				maskSet(c.execMask, idx)
+				*issued++
 			}
-		case in.Op.IsStore():
-			// Stores compute address and data; the cache access happens at
-			// commit (sequential mode) or write-back drain (parallel mode).
-			e.addr = isa.EffAddr(in, e.src1.ival)
-			e.addrKnown = true
-			if in.Op == isa.FST {
-				e.storeBits = int64(math.Float64bits(e.src2.fval))
-			} else {
-				e.storeBits = e.src2.ival
-			}
-			e.valKnown = true
-			e.state = stExecuting
-			e.doneAt = cycle + 1
-			issued++
-		default:
-			fu := in.Op.FU()
-			if !c.takeFU(fu) {
-				continue
-			}
-			c.execALU(cycle, idx)
-			issued++
 		}
 	}
 }
@@ -381,7 +608,7 @@ func (c *Core) execALU(cycle uint64, idx int) {
 
 // issueLoad attempts to start a load: memory ordering against older stores,
 // store-to-load forwarding, then the DMem (memory buffer + caches).
-func (c *Core) issueLoad(cycle uint64, idx, agePos int) bool {
+func (c *Core) issueLoad(cycle uint64, idx int) bool {
 	e := &c.rob[idx]
 	if !e.addrKnown {
 		e.addr = isa.EffAddr(e.inst, e.src1.ival)
@@ -390,7 +617,13 @@ func (c *Core) issueLoad(cycle uint64, idx, agePos int) bool {
 	// Conservative disambiguation: every older store must have a known
 	// address; the nearest older same-address store forwards its data.
 	var fwd *robEntry
-	for _, s := range c.lsq {
+	j := c.lsqHead
+	for i := 0; i < c.lsqCount; i++ {
+		s := c.lsqBuf[j]
+		j++
+		if j == len(c.lsqBuf) {
+			j = 0
+		}
 		if s == idx {
 			break
 		}
@@ -475,7 +708,7 @@ func (c *Core) fetch(cycle uint64) {
 			return
 		}
 		in := c.prog.At(c.fetchPC)
-		if in.Op.IsMem() && len(c.lsq) >= c.cfg.LSQSize {
+		if in.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize {
 			return
 		}
 		if !c.imem.FetchReady(cycle, c.fetchPC) {
@@ -503,7 +736,10 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 	c.robTail = (c.robTail + 1) % len(c.rob)
 	c.robCount++
 	e := &c.rob[idx]
-	*e = robEntry{inst: in, pc: c.fetchPC, state: stDispatched}
+	*e = robEntry{inst: in, pc: c.fetchPC, state: stDispatched,
+		waitHead: -1, wNext: [2]int32{-1, -1}}
+	maskClear(c.readyMask, idx)
+	maskClear(c.execMask, idx)
 
 	r1, r2, use1, use2, fp1, fp2 := in.SrcRegs()
 	e.use1, e.use2 = use1, use2
@@ -524,8 +760,23 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 		e.doneAt = cycle + 1
 	}
 
+	if e.state == stDispatched {
+		if e.use1 && !e.src1.ready {
+			c.addWaiter(e.src1.rob, idx, 0)
+		}
+		if e.use2 && !e.src2.ready {
+			c.addWaiter(e.src2.rob, idx, 1)
+		}
+		if entryReady(e) {
+			maskSet(c.readyMask, idx)
+		}
+	} else {
+		maskSet(c.execMask, idx)
+	}
+
 	if in.Op.IsMem() {
-		c.lsq = append(c.lsq, idx)
+		c.lsqBuf[(c.lsqHead+c.lsqCount)%len(c.lsqBuf)] = idx
+		c.lsqCount++
 	}
 
 	// Rename the destination.
@@ -575,12 +826,11 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 // load to this consumer — the window the memory system has to hide the
 // load's latency. Called only when a metrics collector is attached.
 func (c *Core) observeLoadUse(idx int, e *robEntry) {
-	pos := func(slot int) int { return (slot - c.robHead + len(c.rob)) % len(c.rob) }
 	if e.use1 && !e.src1.ready && c.rob[e.src1.rob].inst.Op.IsLoad() {
-		c.metrics.ObserveLoadUse(uint64(pos(idx) - pos(e.src1.rob)))
+		c.metrics.ObserveLoadUse(uint64(c.posOf(idx) - c.posOf(e.src1.rob)))
 	}
 	if e.use2 && !e.src2.ready && c.rob[e.src2.rob].inst.Op.IsLoad() {
-		c.metrics.ObserveLoadUse(uint64(pos(idx) - pos(e.src2.rob)))
+		c.metrics.ObserveLoadUse(uint64(c.posOf(idx) - c.posOf(e.src2.rob)))
 	}
 }
 

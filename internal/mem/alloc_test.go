@@ -1,0 +1,88 @@
+package mem
+
+import "testing"
+
+// TestAccessHitPathZeroAllocs pins the steady-state cost of the L1 access
+// path: once the pool is primed and the block is resident, a demand load
+// that hits in the L1 must not allocate at all. This is the contract the
+// request slab/freelist and the intrusive MSHR chains exist to provide;
+// any map insert, slice growth, or interface boxing on the hit path shows
+// up here as a failure.
+func TestAccessHitPathZeroAllocs(t *testing.T) {
+	h := newH(t, 1, nil)
+	d := h.DUnit(0)
+	var cyc uint64
+
+	// Warm the block (cold miss all the way to DRAM) and prime the pool.
+	h.BeginCycle(cyc)
+	req := d.Access(cyc, 0x1000, Load, SrcDemand, -1)
+	h.Tick(cyc)
+	cyc++
+	for !req.Done {
+		run(h, &cyc, 1)
+	}
+	req.Release()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.BeginCycle(cyc)
+		r := d.Access(cyc, 0x1000, Load, SrcDemand, -1)
+		if !r.Done {
+			t.Fatal("expected an L1 hit on a warmed block")
+		}
+		r.Release()
+		h.Tick(cyc)
+		cyc++
+	})
+	if allocs != 0 {
+		t.Fatalf("L1 hit path allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAccessMissSteadyStateZeroAllocs covers the miss path once warm: with
+// the request pool primed and the MSHR file at steady state, an L1 miss
+// that hits in the L2 must also run allocation-free (the fill heap and L2
+// queue reuse their backing arrays).
+func TestAccessMissSteadyStateZeroAllocs(t *testing.T) {
+	h := newH(t, 1, nil)
+	d := h.DUnit(0)
+	var cyc uint64
+
+	// Pull two conflicting blocks through once so both are L2-resident and
+	// every backing array has grown to steady-state capacity.
+	l1Sets := uint64(DefaultConfig().L1DSize)
+	addrA, addrB := uint64(0x2000), uint64(0x2000+l1Sets)
+	for _, a := range []uint64{addrA, addrB, addrA, addrB} {
+		h.BeginCycle(cyc)
+		r := d.Access(cyc, a, Load, SrcDemand, -1)
+		h.Tick(cyc)
+		cyc++
+		for !r.Done {
+			run(h, &cyc, 1)
+		}
+		r.Release()
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		// addrA and addrB conflict in the direct-mapped L1, so each access
+		// misses L1 and round-trips through the L2 queue and fill heap.
+		h.BeginCycle(cyc)
+		r := d.Access(cyc, addrA, Load, SrcDemand, -1)
+		h.Tick(cyc)
+		cyc++
+		for !r.Done {
+			run(h, &cyc, 1)
+		}
+		r.Release()
+		h.BeginCycle(cyc)
+		r = d.Access(cyc, addrB, Load, SrcDemand, -1)
+		h.Tick(cyc)
+		cyc++
+		for !r.Done {
+			run(h, &cyc, 1)
+		}
+		r.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state miss path allocates %.2f allocs/op, want 0", allocs)
+	}
+}

@@ -16,10 +16,9 @@ type DUnit struct {
 	cfg  Config
 	l1   *cache.Cache
 	side *cache.Cache // nil when cfg.Side == SideNone
-	mshr *cache.MSHRFile
+	mshr dMSHR        // outstanding misses; waiters chain through Request.next
 
 	portsUsed int
-	requests  map[int64]*Request // outstanding, keyed by token
 
 	// metrics, when non-nil, observes access latencies and side-buffer
 	// promotion timeliness; sideInsertAt then tracks when each resident
@@ -52,12 +51,11 @@ func newDUnit(h *Hierarchy, tu int, cfg Config) (*DUnit, error) {
 		return nil, err
 	}
 	d := &DUnit{
-		h:        h,
-		tu:       tu,
-		cfg:      cfg,
-		l1:       l1,
-		mshr:     cache.NewMSHRFile(cfg.L1DMSHRs),
-		requests: make(map[int64]*Request),
+		h:    h,
+		tu:   tu,
+		cfg:  cfg,
+		l1:   l1,
+		mshr: newDMSHR(cfg.L1DMSHRs),
 	}
 	if cfg.Side != SideNone {
 		d.side, err = cache.NewFullyAssoc(cfg.SideEntries, cfg.L1DBlock)
@@ -89,7 +87,7 @@ func (d *DUnit) SetAttrib(a *attrib.Collector) { d.attrib = a }
 func (d *DUnit) CanAccept() bool { return d.portsUsed < d.cfg.L1DPorts }
 
 // MSHRFull reports whether a new miss could not be tracked right now.
-func (d *DUnit) MSHRFull() bool { return d.mshr.Full() }
+func (d *DUnit) MSHRFull() bool { return d.mshr.full() }
 
 func (d *DUnit) beginCycle() { d.portsUsed = 0 }
 
@@ -108,7 +106,14 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 	d.portsUsed++
 	d.Traffic++
 	block := d.l1.BlockAddr(addr)
-	req := &Request{ID: d.h.nextID, Addr: addr, Kind: kind, Src: src, PC: pc, Issued: cycle}
+	req := d.h.pool.get()
+	req.ID = d.h.nextID
+	req.Addr = addr
+	req.Kind = kind
+	req.Src = src
+	req.PC = pc
+	req.Issued = cycle
+	req.held = true
 	d.h.nextID++
 
 	if src.Wrong() {
@@ -227,12 +232,11 @@ func (d *DUnit) accessWrong(cycle uint64, block uint64, req *Request) *Request {
 // opens a new entry. An MSHR-full condition completes the request late, at
 // a pessimistic memory latency, rather than stalling the simulator.
 func (d *DUnit) miss(cycle uint64, block uint64, req *Request) {
-	allocated, ok := d.mshr.Add(block, req.ID)
+	allocated, ok := d.mshr.add(block, req)
 	if !ok {
 		d.complete(req, cycle+uint64(d.cfg.MemLat))
 		return
 	}
-	d.requests[req.ID] = req
 	if allocated {
 		d.h.toL2(cycle, d.tu, false, block)
 	}
@@ -244,20 +248,26 @@ func (d *DUnit) issuePrefetch(cycle uint64, block uint64, pc int) {
 	if d.side == nil && !d.cfg.NextLinePrefetch {
 		return
 	}
-	if d.l1.Probe(block) || (d.side != nil && d.side.Probe(block)) || d.mshr.Lookup(block) {
+	if d.l1.Probe(block) || (d.side != nil && d.side.Probe(block)) || d.mshr.lookup(block) {
 		return
 	}
-	if d.mshr.Full() {
+	if d.mshr.full() {
 		return
 	}
-	req := &Request{ID: d.h.nextID, Addr: block, Kind: Prefetch, PC: pc, Issued: cycle}
+	req := d.h.pool.get()
+	req.ID = d.h.nextID
+	req.Addr = block
+	req.Kind = Prefetch
+	req.Src = SrcDemand
+	req.PC = pc
+	req.Issued = cycle
 	d.h.nextID++
 	d.PrefIssued++
-	allocated, ok := d.mshr.Add(block, req.ID)
+	allocated, ok := d.mshr.add(block, req)
 	if !ok {
+		d.h.pool.put(req)
 		return
 	}
-	d.requests[req.ID] = req
 	if allocated {
 		d.h.toL2(cycle, d.tu, false, block)
 	}
@@ -276,22 +286,24 @@ func originOf(req *Request) attrib.Origin {
 	return attrib.OriginDemand
 }
 
-// fill delivers a block from the lower hierarchy at the given cycle.
+// fill delivers a block from the lower hierarchy at the given cycle,
+// walking the MSHR entry's intrusive waiter chain in arrival order.
 func (d *DUnit) fill(block uint64, cycle uint64) {
-	waiters := d.mshr.Complete(block)
+	chain := d.mshr.complete(block)
 	demand := false // any correct-path demand waiter
 	store := false
 	prefetchOnly := true // only prefetch waiters
 	wrongOnly := true    // only wrong-execution waiters (no correct demand)
-	var alloc *Request   // the request that opened the MSHR entry
+	allocOrigin, allocPC := attrib.OriginDemand, -1
+	first := true
 	demandPC := -1
-	for _, tok := range waiters {
-		req := d.requests[tok]
-		if req == nil {
-			continue
-		}
-		if alloc == nil {
-			alloc = req // MSHR waiters are returned in arrival order
+	for req := chain; req != nil; {
+		next := req.next
+		req.next = nil
+		if first {
+			// The chain head is the request that opened the MSHR entry.
+			allocOrigin, allocPC = originOf(req), req.PC
+			first = false
 		}
 		switch {
 		case req.Kind == Prefetch:
@@ -309,11 +321,11 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 			}
 		}
 		d.complete(req, cycle)
-		delete(d.requests, tok)
-	}
-	allocOrigin, allocPC := attrib.OriginDemand, -1
-	if alloc != nil {
-		allocOrigin, allocPC = originOf(alloc), alloc.PC
+		req.pending = false
+		if !req.held {
+			d.h.pool.put(req)
+		}
+		req = next
 	}
 
 	switch {
@@ -474,8 +486,7 @@ func (d *DUnit) Reset() {
 	if d.side != nil {
 		d.side.Reset()
 	}
-	d.mshr.Reset()
-	d.requests = make(map[int64]*Request)
+	d.mshr.reset()
 	if d.sideInsertAt != nil {
 		d.sideInsertAt = make(map[uint64]uint64)
 	}

@@ -1,8 +1,6 @@
 package mem
 
 import (
-	"container/heap"
-
 	"repro/internal/attrib"
 	"repro/internal/cache"
 	"repro/internal/metrics"
@@ -22,8 +20,12 @@ type Hierarchy struct {
 	dunits []*DUnit
 	iunits []*IUnit
 
+	// l2Queue is a ring: l2qHead indexes the front, new requests append.
+	// The backing array is reused once the queue drains.
 	l2Queue []l2Req
-	fills   fillHeap
+	l2qHead int
+	fills   []fill // binary min-heap ordered by at
+	pool    reqPool
 	nextID  int64
 	cycle   uint64
 
@@ -49,13 +51,47 @@ type fill struct {
 	isI   bool
 }
 
-type fillHeap []fill
+// pushFill inserts a fill into the min-heap. Hand-written sift-up (same
+// algorithm and tie-breaking as container/heap) so pushing a fill does not
+// box the value into an interface and allocate.
+func (h *Hierarchy) pushFill(f fill) {
+	h.fills = append(h.fills, f)
+	j := len(h.fills) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if h.fills[i].at <= h.fills[j].at {
+			break
+		}
+		h.fills[i], h.fills[j] = h.fills[j], h.fills[i]
+		j = i
+	}
+}
 
-func (h fillHeap) Len() int           { return len(h) }
-func (h fillHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h fillHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *fillHeap) Push(x any)        { *h = append(*h, x.(fill)) }
-func (h *fillHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+// popFill removes and returns the earliest fill (container/heap's sift-down
+// order, so delivery order of same-cycle fills is unchanged).
+func (h *Hierarchy) popFill() fill {
+	fs := h.fills
+	n := len(fs) - 1
+	fs[0], fs[n] = fs[n], fs[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && fs[j2].at < fs[j].at {
+			j = j2
+		}
+		if fs[j].at >= fs[i].at {
+			break
+		}
+		fs[i], fs[j] = fs[j], fs[i]
+		i = j
+	}
+	v := fs[n]
+	h.fills = fs[:n]
+	return v
+}
 
 // NewHierarchy builds the memory system for nTU thread units.
 func NewHierarchy(nTU int, cfg Config) (*Hierarchy, error) {
@@ -153,14 +189,25 @@ func (h *Hierarchy) SequentialUpdate(srcTU int, addr uint64) {
 // units. Call after stepping the cores each cycle.
 func (h *Hierarchy) Tick(cycle uint64) {
 	// L2 accepts one request per cycle, FIFO.
-	if len(h.l2Queue) > 0 && h.l2Queue[0].ready <= cycle {
-		req := h.l2Queue[0]
-		h.l2Queue = h.l2Queue[1:]
+	if h.l2qHead < len(h.l2Queue) && h.l2Queue[h.l2qHead].ready <= cycle {
+		req := h.l2Queue[h.l2qHead]
+		h.l2qHead++
+		if h.l2qHead == len(h.l2Queue) {
+			// Drained: reuse the backing array from the start.
+			h.l2Queue = h.l2Queue[:0]
+			h.l2qHead = 0
+		} else if h.l2qHead >= 64 {
+			// Compact occasionally so a long-lived queue can't grow without
+			// bound behind a stale head region.
+			n := copy(h.l2Queue, h.l2Queue[h.l2qHead:])
+			h.l2Queue = h.l2Queue[:n]
+			h.l2qHead = 0
+		}
 		h.serviceL2(cycle, req)
 	}
 	// Deliver due fills.
 	for len(h.fills) > 0 && h.fills[0].at <= cycle {
-		f := heap.Pop(&h.fills).(fill)
+		f := h.popFill()
 		switch {
 		case f.tu < 0:
 			h.completeDRAM(f.at, f.block)
@@ -172,12 +219,29 @@ func (h *Hierarchy) Tick(cycle uint64) {
 	}
 }
 
+// NextWake returns the earliest future cycle at which Tick could have any
+// effect: the front L2 queue entry becoming ready or the earliest pending
+// fill. neverWake when both are empty.
+func (h *Hierarchy) NextWake(cycle uint64) uint64 {
+	w := uint64(neverWake)
+	if h.l2qHead < len(h.l2Queue) {
+		w = h.l2Queue[h.l2qHead].ready
+	}
+	if len(h.fills) > 0 && h.fills[0].at < w {
+		w = h.fills[0].at
+	}
+	if w != neverWake && w <= cycle {
+		w = cycle + 1
+	}
+	return w
+}
+
 // serviceL2 performs one L2 lookup for an L1 miss.
 func (h *Hierarchy) serviceL2(cycle uint64, req l2Req) {
 	h.L2Accesses++
 	l2block := h.l2.BlockAddr(req.block)
 	if _, hit := h.l2.Access(l2block, false); hit {
-		heap.Push(&h.fills, fill{
+		h.pushFill(fill{
 			at:    cycle + uint64(h.cfg.L2HitLat) - 1,
 			block: req.block,
 			tu:    req.tu,
@@ -196,7 +260,7 @@ func (h *Hierarchy) serviceL2(cycle uint64, req l2Req) {
 	allocated, ok := h.l2MSHR.Add(l2block, tok)
 	if !ok {
 		// L2 MSHRs exhausted: service without merging at full latency.
-		heap.Push(&h.fills, fill{
+		h.pushFill(fill{
 			at:    cycle + uint64(h.cfg.MemLat) - 1,
 			block: req.block,
 			tu:    req.tu,
@@ -207,7 +271,7 @@ func (h *Hierarchy) serviceL2(cycle uint64, req l2Req) {
 	}
 	if allocated {
 		// DRAM completes the L2 fill; waiters are released then.
-		heap.Push(&h.fills, fill{
+		h.pushFill(fill{
 			at:    cycle + uint64(h.cfg.MemLat) - uint64(h.cfg.L2HitLat) - 1,
 			block: l2block,
 			tu:    -1, // sentinel: DRAM->L2 fill
@@ -223,7 +287,7 @@ func (h *Hierarchy) completeDRAM(cycle uint64, l2block uint64) {
 	victim := h.l2.Insert(l2block, 0, false)
 	_ = victim // L2 victims write back to DRAM; no further state to model.
 	for _, tok := range h.l2MSHR.Complete(l2block) {
-		heap.Push(&h.fills, fill{
+		h.pushFill(fill{
 			at:    cycle + uint64(h.cfg.L2HitLat),
 			block: uint64(tok) >> 7,
 			tu:    int(tok & 63),
@@ -242,7 +306,7 @@ func (h *Hierarchy) Reset() {
 	for _, iu := range h.iunits {
 		iu.Reset()
 	}
-	h.l2Queue = nil
+	h.l2Queue, h.l2qHead = nil, 0
 	h.fills = nil
 	h.L2Accesses, h.L2Misses, h.DRAMFills, h.Writebacks, h.UpdateBus = 0, 0, 0, 0, 0
 }

@@ -198,6 +198,15 @@ type Request struct {
 
 	Done      bool
 	DoneCycle uint64 // cycle at which the value is available
+
+	// Pool plumbing (see reqPool): next chains the request on an MSHR
+	// wait-list; held marks the issuing core's claim (dropped via Release)
+	// and pending the memory system's (dropped when the fill arrives).
+	// The request returns to its pool only when both are clear.
+	next    *Request
+	held    bool
+	pending bool
+	pool    *reqPool
 }
 
 // Wrong reports whether wrong execution issued the request.

@@ -1,0 +1,143 @@
+package mem
+
+// neverWake is the NextWake value of a component with no pending events.
+const neverWake = ^uint64(0)
+
+// reqPool recycles Request objects so the steady-state access path performs
+// no heap allocation. Requests are handed out by get, and return to the free
+// list once both owners have dropped them: the issuing core (held, cleared
+// by Request.Release) and the memory system (pending, cleared when the MSHR
+// chain drains at fill time). Fire-and-forget callers release immediately;
+// hit-path requests complete synchronously and recycle on release.
+type reqPool struct {
+	free []*Request
+}
+
+const reqSlabSize = 64
+
+func (p *reqPool) get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		return r
+	}
+	// Grow by a slab so the free list settles after a short warm-up.
+	slab := make([]Request, reqSlabSize)
+	for i := 1; i < reqSlabSize; i++ {
+		slab[i].pool = p
+		p.free = append(p.free, &slab[i])
+	}
+	slab[0].pool = p
+	return &slab[0]
+}
+
+func (p *reqPool) put(r *Request) {
+	*r = Request{pool: r.pool}
+	p.free = append(p.free, r)
+}
+
+// Release returns the request to its pool once the issuing core no longer
+// needs it. A request still pending in an MSHR stays live until its fill
+// arrives; releasing is then just dropping the core's claim. Safe on nil
+// and on requests not managed by a pool (tests building them directly).
+func (r *Request) Release() {
+	if r == nil || !r.held {
+		return
+	}
+	r.held = false
+	if !r.pending && r.pool != nil {
+		r.pool.put(r)
+	}
+}
+
+// dmshrEntry tracks one outstanding L1 block miss. Waiting requests chain
+// intrusively through Request.next in arrival order (head..tail).
+type dmshrEntry struct {
+	block uint64
+	head  *Request
+	tail  *Request
+	valid bool
+}
+
+// dMSHR is the per-DUnit miss-status holding register file. Entries are a
+// fixed array scanned linearly (file sizes are single digits to low tens),
+// and waiters chain through the requests themselves, so neither a miss nor
+// a merge allocates.
+type dMSHR struct {
+	entries []dmshrEntry
+	n       int
+}
+
+func newDMSHR(max int) dMSHR {
+	if max <= 0 {
+		max = 1
+	}
+	return dMSHR{entries: make([]dmshrEntry, max)}
+}
+
+func (f *dMSHR) lookup(block uint64) bool {
+	for i := range f.entries {
+		if f.entries[i].valid && f.entries[i].block == block {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *dMSHR) full() bool { return f.n >= len(f.entries) }
+
+// add registers req as waiting on block. allocated reports that a new entry
+// opened (the caller must issue the fill); ok is false when the file is
+// full and the block has no entry.
+func (f *dMSHR) add(block uint64, req *Request) (allocated, ok bool) {
+	var free *dmshrEntry
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.valid {
+			if e.block == block {
+				req.pending = true
+				req.next = nil
+				e.tail.next = req
+				e.tail = req
+				return false, true
+			}
+			continue
+		}
+		if free == nil {
+			free = e
+		}
+	}
+	if free == nil {
+		return false, false
+	}
+	req.pending = true
+	req.next = nil
+	free.block = block
+	free.head, free.tail = req, req
+	free.valid = true
+	f.n++
+	return true, true
+}
+
+// complete removes block's entry, returning the waiter chain head (arrival
+// order). Completing an absent block is a simulator bug and panics.
+func (f *dMSHR) complete(block uint64) *Request {
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.valid && e.block == block {
+			head := e.head
+			e.head, e.tail = nil, nil
+			e.valid = false
+			f.n--
+			return head
+		}
+	}
+	panic("mem: MSHR complete for absent block")
+}
+
+func (f *dMSHR) reset() {
+	for i := range f.entries {
+		f.entries[i] = dmshrEntry{}
+	}
+	f.n = 0
+}

@@ -130,6 +130,29 @@ func randParallelProgram(rng *rand.Rand, windows, window int, useTST bool) *isa.
 		})
 	b.OpI(isa.ADDI, 21, 21, 1)
 	b.Br(isa.BLT, 21, 22, "outer")
+	// Epilogue (sequential): fold every out[] cell into an accumulator and
+	// then give EVERY integer register a value derived from it, so that the
+	// soak test can require the machine's complete architectural register
+	// file — not just memory — to match the interpreter at halt. (A forked
+	// thread's unforwarded registers are intentionally poisoned, so without
+	// this the register files would differ by design, not by bug.)
+	b.Op3(isa.MUL, 24, 22, 23) // n = windows*window
+	b.Li(25, 0)                // acc
+	b.Li(26, 0)                // i
+	b.Label("fold")
+	b.Br(isa.BGE, 26, 24, "folddone")
+	b.OpI(isa.SLLI, 27, 26, 3)
+	b.Op3(isa.ADD, 27, 27, 4)
+	b.Ld(28, 0, 27)
+	b.Op3(isa.XOR, 25, 25, 28)
+	b.OpI(isa.ADDI, 26, 26, 1)
+	b.Jmp("fold")
+	b.Label("folddone")
+	for k := 1; k < isa.NumIntRegs; k++ {
+		if k != 25 {
+			b.OpI(isa.ADDI, k, 25, int64(k))
+		}
+	}
 	b.Halt()
 	p, err := b.Build()
 	if err != nil {
@@ -165,6 +188,52 @@ func TestDifferentialParallelPrograms(t *testing.T) {
 			if r.MemCheck != ref.MemCheck {
 				t.Fatalf("seed %d, %d TUs (tst=%v): machine %#x, interp %#x",
 					seed, tus, useTST, r.MemCheck, ref.MemCheck)
+			}
+		}
+	}
+}
+
+// TestDifferentialSoak is the randomized differential soak: at least 200
+// distinct seeded programs per run (25 under -short), each executed on a
+// rotating machine shape and wrong-execution configuration, requiring the
+// interpreter's exact memory image AND complete architectural integer
+// register file. Any divergence is reported with its seed so the failing
+// program can be replayed deterministically.
+func TestDifferentialSoak(t *testing.T) {
+	n := 200
+	if testing.Short() || raceMode {
+		n = 25
+	}
+	shapes := []int{1, 2, 4, 8}
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(int64(i)*2654435761 + 99))
+		useTST := rng.Intn(2) == 0
+		p := randParallelProgram(rng, 2, 4+rng.Intn(5), useTST)
+		ref, err := interp.Run(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		cfg := cfgTU(shapes[i%len(shapes)])
+		switch i % 3 {
+		case 1:
+			cfg.WrongThreadExec = true
+			cfg.Core.WrongPathExec = true
+			cfg.Mem.Side = mem.SideWEC
+		case 2:
+			cfg.Core.WrongPathExec = true
+			cfg.Mem.Side = mem.SideVC
+		}
+		r := runMachine(t, cfg, p)
+		if r.MemCheck != ref.MemCheck {
+			t.Fatalf("seed %d (tst=%v, %dTU, mode %d): memory %#x, interp %#x",
+				i, useTST, cfg.NumTUs, i%3, r.MemCheck, ref.MemCheck)
+		}
+		if r.IntRegs != ref.IntRegs {
+			for k := 0; k < isa.NumIntRegs; k++ {
+				if r.IntRegs[k] != ref.IntRegs[k] {
+					t.Fatalf("seed %d (tst=%v, %dTU, mode %d): r%d = %d, interp %d",
+						i, useTST, cfg.NumTUs, i%3, k, r.IntRegs[k], ref.IntRegs[k])
+				}
 			}
 		}
 	}

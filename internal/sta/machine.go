@@ -113,6 +113,12 @@ type Machine struct {
 	// registry and pollution/promotion instants go to its timeline.
 	Attrib *attrib.Collector
 
+	// DisableSkip forces the machine to step every cycle instead of
+	// fast-forwarding over provably idle spans. Results are identical
+	// either way (the skip-equivalence test asserts it); the knob exists
+	// for that test and for debugging.
+	DisableSkip bool
+
 	cfg  Config
 	prog *isa.Program
 	img  *memimg.Image
@@ -185,6 +191,9 @@ func (m *Machine) Run() (*Result, error) {
 				m.cfg.MaxCycles, m.debugState())
 		}
 		m.step()
+		if !m.halted && !m.DisableSkip {
+			m.skipIdle()
+		}
 	}
 	// Drain: let outstanding wrong threads disappear with the machine; the
 	// program result is already architectural.
@@ -208,6 +217,70 @@ func (m *Machine) step() {
 	if m.Metrics != nil {
 		m.Metrics.MaybeSample(m.cycle)
 	}
+}
+
+// skipIdle fast-forwards the clock over cycles that are provably no-ops:
+// every component reports the earliest future cycle at which stepping it
+// could change any state, and the span up to the minimum is replayed as
+// empty cycles — advancing the clock, the parallel-cycle counter, and the
+// metrics sampler exactly as stepping would, but touching nothing else.
+// Called right after step, so m.cycle-1 is the cycle just stepped.
+func (m *Machine) skipIdle() {
+	wake := m.nextWake(m.cycle - 1)
+	if wake <= m.cycle {
+		return
+	}
+	if wake > m.cfg.MaxCycles {
+		// Stop at the limit so the runaway diagnostic fires at the same
+		// cycle it would without skipping.
+		wake = m.cfg.MaxCycles
+		if wake < m.cycle {
+			return
+		}
+	}
+	for m.cycle < wake {
+		if m.inParallel {
+			m.parCycles++
+		}
+		m.cycle++
+		if m.Metrics != nil {
+			m.Metrics.MaybeSample(m.cycle)
+		}
+	}
+}
+
+// nextWake returns the earliest cycle after the just-stepped cycle at which
+// any component of the machine could change state.
+func (m *Machine) nextWake(cycle uint64) uint64 {
+	wake := m.hier.NextWake(cycle)
+	if wake == cycle+1 {
+		return wake
+	}
+	for _, tu := range m.tus {
+		w := tu.nextWake(cycle)
+		if w == cycle+1 {
+			return w
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	if pf := m.pending; pf != nil {
+		if pf.startAt == 0 {
+			// Not yet scheduled: the delay is pinned the cycle the target TU
+			// idles. The target idling is itself a stepped event, so only an
+			// already-idle target forces stepping now.
+			if m.tus[(pf.fromTU+1)%m.cfg.NumTUs].state == tuIdle {
+				return cycle + 1
+			}
+		} else if pf.startAt < wake {
+			wake = pf.startAt
+			if wake <= cycle {
+				wake = cycle + 1
+			}
+		}
+	}
+	return wake
 }
 
 // tryStartPending launches a waiting fork once its target TU is idle and
@@ -251,7 +324,7 @@ func (m *Machine) startThread(pf *pendingFork, tu *threadUnit) {
 	tu.tsagChainDone = false
 	tu.predChainAt = 0
 	tu.hasPredFlag = false
-	tu.ownTargets = make(map[uint64]*mbEntry)
+	clear(tu.ownTargets)
 	tu.succ = -1
 	if parentLive {
 		// Link into the thread chain and inherit dependence state.
@@ -280,15 +353,18 @@ func (m *Machine) emit(tuID int, kind trace.Kind, arg int64) {
 	}
 }
 
-// successorsOf walks the thread chain strictly after tu.
-func (m *Machine) successorsOf(tu *threadUnit) []*threadUnit {
-	var out []*threadUnit
+// forEachSuccessor calls fn(i, s) for each thread strictly after tu in the
+// chain, in ring order (i counts from 0), without allocating. The next link
+// is read before fn runs, so fn may kill or detach the current node (as the
+// abort path does) without cutting the walk short.
+func (m *Machine) forEachSuccessor(tu *threadUnit, fn func(i int, s *threadUnit)) {
 	seen := 0
-	for id := tu.succ; id >= 0 && seen < m.cfg.NumTUs; id = m.tus[id].succ {
-		out = append(out, m.tus[id])
+	for id := tu.succ; id >= 0 && seen < m.cfg.NumTUs; {
+		s := m.tus[id]
+		id = s.succ
+		fn(seen, s)
 		seen++
 	}
-	return out
 }
 
 // result gathers final statistics.

@@ -39,6 +39,7 @@ type memBuf struct {
 	upstream map[uint64]*mbEntry
 	ownIdx   map[uint64]int // addr -> index into own (latest store wins)
 	own      []ownStore
+	drainPos int // own[:drainPos] already written back
 
 	Overflows uint64
 }
@@ -52,9 +53,10 @@ func newMemBuf(capacity int) *memBuf {
 }
 
 func (m *memBuf) reset() {
-	m.upstream = make(map[uint64]*mbEntry)
-	m.ownIdx = make(map[uint64]int)
+	clear(m.upstream)
+	clear(m.ownIdx)
 	m.own = m.own[:0]
+	m.drainPos = 0
 }
 
 func (m *memBuf) size() int { return len(m.upstream) + len(m.ownIdx) }
@@ -149,35 +151,33 @@ func (m *memBuf) inheritFrom(parent *memBuf, parentTargets map[uint64]*mbEntry, 
 }
 
 // drainOne pops the oldest buffered own store for write-back. ok reports
-// whether a store was available.
+// whether a store was available. A cursor (drainPos) is advanced instead of
+// reslicing own, so ownIdx keeps absolute indices and needs no rebuild.
 func (m *memBuf) drainOne() (ownStore, bool) {
-	if len(m.own) == 0 {
+	if m.drainPos >= len(m.own) {
 		return ownStore{}, false
 	}
-	s := m.own[0]
-	m.own = m.own[1:]
-	// Rebuild index lazily: only delete if it points at the popped slot.
-	if i, ok := m.ownIdx[s.addr]; ok && i == 0 {
+	s := m.own[m.drainPos]
+	if i, ok := m.ownIdx[s.addr]; ok && i == m.drainPos {
 		delete(m.ownIdx, s.addr)
 	}
-	for a, i := range m.ownIdx {
-		m.ownIdx[a] = i - 1
-		_ = a
-	}
+	m.drainPos++
 	return s, true
 }
 
 // pendingStores reports how many own stores await write-back.
-func (m *memBuf) pendingStores() int { return len(m.own) }
+func (m *memBuf) pendingStores() int { return len(m.own) - m.drainPos }
 
 // drainAllTo writes every buffered store to the image immediately
 // (functional effect only; timing is charged by the caller).
 func (m *memBuf) drainAllTo(img *memimg.Image) int {
-	n := len(m.own)
-	for _, s := range m.own {
+	pending := m.own[m.drainPos:]
+	n := len(pending)
+	for _, s := range pending {
 		img.WriteWord(s.addr, s.val)
 	}
 	m.own = m.own[:0]
-	m.ownIdx = make(map[uint64]int)
+	m.drainPos = 0
+	clear(m.ownIdx)
 	return n
 }

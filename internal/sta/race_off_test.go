@@ -1,0 +1,5 @@
+//go:build !race
+
+package sta
+
+const raceMode = false

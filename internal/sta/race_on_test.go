@@ -1,0 +1,8 @@
+//go:build race
+
+package sta
+
+// raceMode trims the heaviest test inputs when the race detector (and its
+// order-of-magnitude slowdown) is active, keeping `go test -race` within
+// the default package timeout on small hosts.
+const raceMode = true

@@ -1,0 +1,96 @@
+package sta
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+)
+
+// runSkip runs p with the event-skip clock either live (the default) or
+// disabled, optionally with a metrics collector attached, and returns the
+// result plus the collector's exported JSON (nil when not attached).
+func runSkip(t *testing.T, cfg Config, p *isa.Program, disable bool, interval uint64) (*Result, []byte) {
+	t.Helper()
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.DisableSkip = disable
+	var col *metrics.Collector
+	if interval > 0 {
+		col = metrics.NewCollector(interval)
+		m.Metrics = col
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js []byte
+	if col != nil {
+		var buf bytes.Buffer
+		if err := col.WriteJSON(&buf, r.Stats.Cycles); err != nil {
+			t.Fatal(err)
+		}
+		js = buf.Bytes()
+	}
+	return r, js
+}
+
+// TestEventSkipEquivalence is the correctness net for the idle-cycle
+// fast-forward: for every program shape and configuration, a machine that
+// skips provably idle spans must produce bit-identical results — stats,
+// memory image, architectural registers — to one that steps every cycle.
+func TestEventSkipEquivalence(t *testing.T) {
+	progs := map[string]*isa.Program{
+		"scale":  scaleLoop(t, 48),
+		"prefix": prefixLoop(t, 32),
+	}
+	for name, p := range progs {
+		for _, tus := range []int{1, 4, 8} {
+			for _, wrong := range []bool{false, true} {
+				cfg := cfgTU(tus)
+				if wrong {
+					cfg.WrongThreadExec = true
+					cfg.Core.WrongPathExec = true
+					cfg.Mem.Side = mem.SideWEC
+				}
+				stepped, _ := runSkip(t, cfg, p, true, 0)
+				skipped, _ := runSkip(t, cfg, p, false, 0)
+				if stepped.Stats != skipped.Stats {
+					t.Errorf("%s %dTU wrong=%v: stats diverge\nstepped: %+v\nskipped: %+v",
+						name, tus, wrong, stepped.Stats, skipped.Stats)
+				}
+				if stepped.MemCheck != skipped.MemCheck {
+					t.Errorf("%s %dTU wrong=%v: memory %#x vs %#x",
+						name, tus, wrong, stepped.MemCheck, skipped.MemCheck)
+				}
+				if stepped.IntRegs != skipped.IntRegs {
+					t.Errorf("%s %dTU wrong=%v: architectural registers diverge",
+						name, tus, wrong)
+				}
+			}
+		}
+	}
+}
+
+// TestEventSkipMetricsEquivalence requires the interval sampler to observe
+// the identical stream of samples whether or not idle spans are skipped:
+// MaybeSample is replayed for every fast-forwarded cycle, so the exported
+// JSON must match byte for byte.
+func TestEventSkipMetricsEquivalence(t *testing.T) {
+	p := prefixLoop(t, 32)
+	for _, tus := range []int{1, 8} {
+		cfg := cfgTU(tus)
+		cfg.WrongThreadExec = true
+		cfg.Core.WrongPathExec = true
+		cfg.Mem.Side = mem.SideWEC
+		_, js1 := runSkip(t, cfg, p, true, 500)
+		_, js2 := runSkip(t, cfg, p, false, 500)
+		if !bytes.Equal(js1, js2) {
+			t.Errorf("%dTU: metrics JSON diverges between stepped and skipped runs", tus)
+		}
+	}
+}

@@ -34,7 +34,6 @@ type threadUnit struct {
 	hasPredFlag   bool
 	predChainAt   uint64
 
-	curCycle    uint64
 	lastCommits uint64
 	parCommits  uint64
 	startedAt   uint64 // cycle the current thread began (metrics lifetime)
@@ -63,7 +62,6 @@ func (tu *threadUnit) du() *mem.DUnit { return tu.m.hier.DUnit(tu.id) }
 
 // step advances the TU one machine cycle.
 func (tu *threadUnit) step(cycle uint64) {
-	tu.curCycle = cycle
 	tu.updateChain(cycle)
 	switch tu.state {
 	case tuIdle:
@@ -114,7 +112,7 @@ func (tu *threadUnit) drainWB(cycle uint64) {
 		}
 		tu.m.img.WriteWord(s.addr, s.val)
 		// Write-back drain: the buffered store lost its issuing PC.
-		du.Access(cycle, s.addr, mem.Store, mem.SrcDemand, -1)
+		du.Access(cycle, s.addr, mem.Store, mem.SrcDemand, -1).Release()
 	}
 	if tu.memBuf.pendingStores() == 0 {
 		tu.finishWB(cycle)
@@ -131,11 +129,11 @@ func (tu *threadUnit) finishWB(cycle uint64) {
 	// This thread's target stores are now in memory: drop them from live
 	// successors' buffers so buffer occupancy stays bounded by the live
 	// thread window (a retired thread's slots are freed in real hardware).
-	for _, s := range tu.m.successorsOf(tu) {
+	tu.m.forEachSuccessor(tu, func(_ int, s *threadUnit) {
 		for addr := range tu.ownTargets {
 			delete(s.memBuf.upstream, addr)
 		}
-	}
+	})
 	if tu.abortResume >= 0 {
 		pc := tu.abortResume
 		tu.abortResume = -1
@@ -215,7 +213,7 @@ func (tu *threadUnit) WrongLoad(cycle uint64, addr uint64, pc int) bool {
 	if !du.CanAccept() {
 		return false
 	}
-	du.Access(cycle, addr, mem.Load, mem.SrcWrongPath, pc)
+	du.Access(cycle, addr, mem.Load, mem.SrcWrongPath, pc).Release()
 	return true
 }
 
@@ -225,7 +223,7 @@ func (tu *threadUnit) WrongLoad(cycle uint64, addr uint64, pc int) bool {
 func (tu *threadUnit) CommitStore(cycle uint64, addr uint64, val int64, target bool, pc int) {
 	if !tu.parMode {
 		tu.m.img.WriteWord(addr, val)
-		tu.du().Access(cycle, addr, mem.Store, mem.SrcDemand, pc)
+		tu.du().Access(cycle, addr, mem.Store, mem.SrcDemand, pc).Release()
 		tu.m.hier.SequentialUpdate(tu.id, addr)
 		return
 	}
@@ -239,9 +237,9 @@ func (tu *threadUnit) CommitStore(cycle uint64, addr uint64, val int64, target b
 		e.hasVal = true
 		e.val = val
 		hop := uint64(tu.m.cfg.TransferPerValue)
-		for i, s := range tu.m.successorsOf(tu) {
+		tu.m.forEachSuccessor(tu, func(i int, s *threadUnit) {
 			s.memBuf.deliver(addr, val, cycle+hop*uint64(i+1))
-		}
+		})
 	}
 }
 
@@ -272,7 +270,7 @@ func (tu *threadUnit) OnBegin(cycle uint64, mask int64) {
 	tu.pred, tu.succ = -1, -1
 	tu.startedAt = cycle
 	tu.memBuf.reset()
-	tu.ownTargets = make(map[uint64]*mbEntry)
+	clear(tu.ownTargets)
 	tu.tsagDone, tu.tsagChainDone = false, false
 	tu.hasPredFlag = false
 }
@@ -320,9 +318,9 @@ func (tu *threadUnit) OnTsa(cycle uint64, addr uint64) {
 		tu.ownTargets[addr] = &mbEntry{}
 	}
 	hop := uint64(tu.m.cfg.TransferPerValue)
-	for i, s := range tu.m.successorsOf(tu) {
+	tu.m.forEachSuccessor(tu, func(i int, s *threadUnit) {
 		s.memBuf.announce(addr, cycle+hop*uint64(i+1))
-	}
+	})
 }
 
 // OnThend ends the iteration body: correct threads proceed to write-back,
@@ -354,7 +352,7 @@ func (tu *threadUnit) OnAbort(cycle uint64, resumePC int) {
 	}
 	m.aborts++
 	m.emit(tu.id, trace.Abort, int64(resumePC))
-	for _, s := range m.successorsOf(tu) {
+	m.forEachSuccessor(tu, func(_ int, s *threadUnit) {
 		if m.cfg.WrongThreadExec {
 			if !s.wrong {
 				s.wrong = true
@@ -365,11 +363,51 @@ func (tu *threadUnit) OnAbort(cycle uint64, resumePC int) {
 		} else {
 			s.kill()
 		}
-	}
+	})
 	tu.succ = -1
 	m.pending = nil // a pending fork would be an iteration past the exit
 	tu.abortResume = resumePC
 	tu.state = tuWBWait
+}
+
+// neverWake mirrors the components' "no pending events" NextWake value.
+const neverWake = ^uint64(0)
+
+// nextWake returns the earliest future cycle at which stepping this TU
+// could change state, given cycle was just stepped (see Machine.skipIdle).
+func (tu *threadUnit) nextWake(cycle uint64) uint64 {
+	wake := uint64(neverWake)
+	switch tu.state {
+	case tuIdle:
+		// Inert until an external event (fork start) re-activates it.
+	case tuWBWait:
+		if tu.pred < 0 {
+			return cycle + 1 // becomes the oldest thread and starts draining
+		}
+		// Otherwise woken by the predecessor's retirement, a stepped event.
+	case tuWBDrain:
+		return cycle + 1 // drains stores every cycle
+	case tuRun:
+		wake = tu.core.NextWake(cycle)
+	}
+	// The TSAG chain flag can complete independently of the core's state
+	// (updateChain runs at the top of every step).
+	if tu.parMode && tu.tsagDone && !tu.tsagChainDone {
+		if tu.pred < 0 {
+			return cycle + 1
+		}
+		if tu.hasPredFlag {
+			if tu.predChainAt <= cycle+1 {
+				return cycle + 1
+			}
+			if tu.predChainAt < wake {
+				wake = tu.predChainAt
+			}
+		}
+		// Without the flag, the predecessor's own activity is the wake
+		// source; its nextWake covers it.
+	}
+	return wake
 }
 
 // OnHalt stops the machine.
