@@ -11,23 +11,42 @@
 //	experiments -run fig11 -v -interval 5000 -metrics-dir out/
 //	experiments -run gain -v -attrib-dir attrib/
 //	experiments -run all -cpuprofile cpu.pprof
+//
+// Robustness (see README "Robustness"): runs are supervised — a failed
+// cell is quarantined and the rest of the suite still completes; Ctrl-C
+// stops cleanly after flushing finished work. With a ledger, completed
+// simulations are journaled as they finish and -resume replays them:
+//
+//	experiments -run all -ledger results.jsonl
+//	experiments -run all -ledger results.jsonl -resume
+//	experiments -run fig10 -timeout 2m
+//	experiments -run fig10 -chaos-seed 7 -chaos-panic 1e-7
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/harness"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		list    = flag.Bool("list", false, "list available experiments")
-		run     = flag.String("run", "", "experiment id (table2, fig8..fig17) or 'all'")
+		runID   = flag.String("run", "", "experiment id (table2, fig8..fig17) or 'all'")
 		scale   = flag.Int("scale", 1, "workload scale factor (multiplies window counts)")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "print per-simulation progress")
@@ -38,29 +57,58 @@ func main() {
 		attribDir  = flag.String("attrib-dir", "", "attach fill attribution and write one report JSON per simulation into this directory")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit per simulation (0 = none)")
+		ledgerPath = flag.String("ledger", "", "journal completed simulations to this JSONL file")
+		resume     = flag.Bool("resume", false, "preload journaled results from -ledger before running")
+
+		chaosSeed     = flag.Uint64("chaos-seed", 0, "seed for the deterministic fault injector")
+		chaosPanic    = flag.Float64("chaos-panic", 0, "per-cycle machine-step panic probability")
+		chaosCore     = flag.Float64("chaos-core-panic", 0, "per-step core panic probability")
+		chaosLivelock = flag.Float64("chaos-livelock", 0, "per-cycle livelock probability (trips the watchdog)")
+		chaosSlow     = flag.Float64("chaos-slow", 0, "per-cycle slow-cycle probability (trips -timeout)")
+		chaosLedger   = flag.Float64("chaos-ledger-fail", 0, "per-append transient ledger write-failure probability")
 	)
 	flag.Parse()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
-		fatal(err)
-		fatal(pprof.StartCPUProfile(f))
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
 		defer pprof.StopCPUProfile()
 	}
 
-	if *list || *run == "" {
+	if *list || *runID == "" {
 		fmt.Println("available experiments:")
 		for _, e := range harness.All() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
 		}
-		if *run == "" {
+		if *runID == "" {
 			fmt.Println("\nrun one with: experiments -run <id>   (or -run all)")
 		}
-		return
+		return 0
 	}
+
+	// Ctrl-C cancels in-flight simulations; completed cells have already
+	// been journaled and printed, so the suite resumes where it stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	r := harness.NewRunner(*scale)
 	r.Workers = *workers
+	r.Ctx = ctx
+	r.Timeout = *timeout
+	r.Chaos = chaos.Config{
+		Seed:         *chaosSeed,
+		MachinePanic: *chaosPanic,
+		CorePanic:    *chaosCore,
+		Livelock:     *chaosLivelock,
+		SlowCycle:    *chaosSlow,
+	}
 	if *verbose {
 		r.Verbose = os.Stderr
 	}
@@ -68,34 +116,68 @@ func main() {
 		if *interval == 0 {
 			*interval = 10000
 		}
-		fatal(os.MkdirAll(*metricsDir, 0o755))
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			return fail(err)
+		}
 		r.MetricsDir = *metricsDir
 	}
 	r.MetricsInterval = *interval
 	if *attribDir != "" {
-		fatal(os.MkdirAll(*attribDir, 0o755))
+		if err := os.MkdirAll(*attribDir, 0o755); err != nil {
+			return fail(err)
+		}
 		r.Attrib = true
 		r.AttribDir = *attribDir
 	}
 
-	exps := harness.All()
-	if *run != "all" {
-		e, err := harness.ByID(*run)
+	if *resume && *ledgerPath == "" {
+		return fail(fmt.Errorf("-resume requires -ledger"))
+	}
+	if *ledgerPath != "" {
+		led, prior, err := harness.OpenLedger(*ledgerPath, *scale)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail(err)
+		}
+		defer led.Close()
+		if *chaosLedger > 0 {
+			led.SetChaos(chaos.New(chaos.Config{Seed: *chaosSeed, LedgerFail: *chaosLedger}, "ledger"))
+		}
+		r.Ledger = led
+		if *resume {
+			r.Prefill(prior)
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "resume: preloaded %d journaled results from %s\n", len(prior), *ledgerPath)
+			}
+		}
+	}
+
+	exps := harness.All()
+	if *runID != "all" {
+		e, err := harness.ByID(*runID)
+		if err != nil {
+			return fail(err)
 		}
 		exps = []harness.Experiment{e}
 	}
+	var failed []string
 	for _, e := range exps {
+		if ctx.Err() != nil {
+			break
+		}
 		start := time.Now()
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
 		}
 		tbl, err := e.Run(r)
 		if err != nil {
+			// Quarantined: report, keep the rest of the suite moving.
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			var se *harness.SuiteError
+			if errors.As(err, &se) && *verbose {
+				fmt.Fprint(os.Stderr, se.Detail())
+			}
+			failed = append(failed, e.ID)
+			continue
 		}
 		switch *format {
 		case "csv":
@@ -104,8 +186,7 @@ func main() {
 		case "json":
 			js, err := tbl.JSON()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return fail(err)
 			}
 			fmt.Println(js)
 			continue
@@ -117,16 +198,35 @@ func main() {
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
-		fatal(err)
+		if err != nil {
+			return fail(err)
+		}
 		runtime.GC()
-		fatal(pprof.WriteHeapProfile(f))
-		fatal(f.Close())
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
 	}
+
+	if ctx.Err() != nil {
+		hint := ""
+		if *ledgerPath != "" {
+			hint = fmt.Sprintf("; resume with -ledger %s -resume", *ledgerPath)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: interrupted, finished work flushed%s\n", hint)
+		return 130
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed: %s\n",
+			len(failed), len(exps), strings.Join(failed, ", "))
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, err)
+	return 1
 }

@@ -21,6 +21,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/simerr"
 	"repro/internal/sta"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -57,6 +60,10 @@ func main() {
 		attribJSON   = flag.String("attrib-json", "", "write the attribution report as JSON to this file (implies -attrib)")
 		attribTop    = flag.Int("attrib-top", attrib.DefaultTopN, "per-PC rows in the attribution report")
 		attribWindow = flag.Uint64("attrib-window", 0, "pollution re-miss window in cycles (0 = default)")
+
+		dumpOnHang = flag.Bool("dump-on-hang", false, "on a deadlock or runaway failure, print the per-TU machine state dump to stderr")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
+		watchdog   = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default)")
 
 		metricsOut  = flag.String("metrics", "", "write metrics JSON (counters, interval series, histograms) to this file")
 		metricsCSV  = flag.String("metrics-csv", "", "write the interval time series as CSV to this file")
@@ -115,6 +122,7 @@ func main() {
 	}
 
 	cfg := config.Main(*tus)
+	cfg.WatchdogCycles = *watchdog
 	cfg.Mem.SideEntries = *entries
 	cfg.Mem.L1DSize = *l1kb * 1024
 	cfg.Mem.L1DAssoc = *l1way
@@ -145,8 +153,21 @@ func main() {
 		ac.Window = *attribWindow
 		m.Attrib = ac
 	}
-	res, err := m.Run()
-	fatal(err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := m.RunContext(ctx)
+	if err != nil {
+		var se *simerr.Error
+		if *dumpOnHang && errors.As(err, &se) &&
+			(se.Kind == simerr.Deadlock || se.Kind == simerr.Runaway) {
+			fmt.Fprintln(os.Stderr, se.DumpState())
+		}
+		fatal(err)
+	}
 
 	if *metricsOut != "" {
 		fatal(writeFile(*metricsOut, func(f *os.File) error {

@@ -90,15 +90,6 @@ func New(cfg Config) (*Predictor, error) {
 	return p, nil
 }
 
-// MustNew is New but panics on error.
-func MustNew(cfg Config) *Predictor {
-	p, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 // PredictDirection returns the predicted direction for the branch at pc.
 func (p *Predictor) PredictDirection(pc int) bool {
 	p.Lookups++

@@ -24,7 +24,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestBimodalLearnsBias(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(t, Default())
 	pc := 100
 	for i := 0; i < 10; i++ {
 		pred := p.PredictDirection(pc)
@@ -43,7 +43,7 @@ func TestBimodalLearnsBias(t *testing.T) {
 }
 
 func TestBimodalHysteresis(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(t, Default())
 	pc := 4
 	// Saturate taken.
 	for i := 0; i < 4; i++ {
@@ -57,7 +57,7 @@ func TestBimodalHysteresis(t *testing.T) {
 }
 
 func TestMispredictCounting(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(t, Default())
 	p.UpdateDirection(0, true, false)
 	p.UpdateDirection(0, true, true)
 	if p.Mispredicts != 1 {
@@ -66,7 +66,7 @@ func TestMispredictCounting(t *testing.T) {
 }
 
 func TestAccuracyOnBiasedStream(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(t, Default())
 	rng := rand.New(rand.NewSource(42))
 	// 90% taken branch at one PC: bimodal should approach 90% accuracy.
 	correct, total := 0, 0
@@ -86,7 +86,7 @@ func TestAccuracyOnBiasedStream(t *testing.T) {
 }
 
 func TestBTBHitAfterInstall(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(t, Default())
 	if _, ok := p.LookupTarget(12); ok {
 		t.Fatal("cold BTB hit")
 	}
@@ -105,7 +105,7 @@ func TestBTBHitAfterInstall(t *testing.T) {
 
 func TestBTBLRUReplacement(t *testing.T) {
 	// 4 entries, 4-way => 1 set.
-	p := MustNew(Config{BimodalEntries: 16, BTBEntries: 4, BTBAssoc: 4, RASEntries: 4})
+	p := mustNew(t, Config{BimodalEntries: 16, BTBEntries: 4, BTBAssoc: 4, RASEntries: 4})
 	for pc := 0; pc < 4; pc++ {
 		p.UpdateTarget(pc, pc*10)
 	}
@@ -120,7 +120,7 @@ func TestBTBLRUReplacement(t *testing.T) {
 }
 
 func TestRAS(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(t, Default())
 	if _, ok := p.PopRAS(); ok {
 		t.Fatal("empty RAS popped")
 	}
@@ -135,7 +135,7 @@ func TestRAS(t *testing.T) {
 }
 
 func TestRASWraparound(t *testing.T) {
-	p := MustNew(Config{BimodalEntries: 16, BTBEntries: 4, BTBAssoc: 4, RASEntries: 2})
+	p := mustNew(t, Config{BimodalEntries: 16, BTBEntries: 4, BTBAssoc: 4, RASEntries: 2})
 	p.PushRAS(1)
 	p.PushRAS(2)
 	p.PushRAS(3) // overwrites 1
@@ -150,7 +150,7 @@ func TestRASWraparound(t *testing.T) {
 func TestPCAliasing(t *testing.T) {
 	// Two PCs that alias in a tiny bimodal table share a counter; ensure
 	// indexing masks rather than overflowing.
-	p := MustNew(Config{BimodalEntries: 2, BTBEntries: 4, BTBAssoc: 4, RASEntries: 2})
+	p := mustNew(t, Config{BimodalEntries: 2, BTBEntries: 4, BTBAssoc: 4, RASEntries: 2})
 	for i := 0; i < 5; i++ {
 		p.UpdateDirection(0, true, p.PredictDirection(0))
 	}
@@ -160,7 +160,7 @@ func TestPCAliasing(t *testing.T) {
 }
 
 func TestAccuracyMetric(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(t, Default())
 	if p.Accuracy() != 1 {
 		t.Error("accuracy of untouched predictor should be 1")
 	}
@@ -169,4 +169,16 @@ func TestAccuracyMetric(t *testing.T) {
 	if p.Accuracy() >= 1 {
 		t.Error("accuracy did not drop after a miss")
 	}
+}
+
+// mustNew builds a predictor from a known-valid configuration, failing the
+// test on a constructor error (the panicking MustNew was removed when
+// config validation moved to returned errors).
+func mustNew(t *testing.T, cfg Config) *Predictor {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }

@@ -102,7 +102,7 @@ func TestRandomBranchesNearChance(t *testing.T) {
 func TestPredictorWithGshareConfig(t *testing.T) {
 	cfg := Default()
 	cfg.Dir = DirGshare
-	p := MustNew(cfg)
+	p := mustNew(t, cfg)
 	pat := []bool{true, false, false}
 	for i := 0; i < 3000; i++ {
 		taken := pat[i%3]

@@ -91,15 +91,6 @@ func New(p Params) (*Cache, error) {
 	return c, nil
 }
 
-// MustNew is New but panics on error; for configurations known at compile time.
-func MustNew(p Params) *Cache {
-	c, err := New(p)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // NewFullyAssoc builds a fully-associative cache with the given entry count.
 func NewFullyAssoc(entries, blockBytes int) (*Cache, error) {
 	return New(Params{SizeBytes: entries * blockBytes, Assoc: 0, BlockBytes: blockBytes})

@@ -229,7 +229,7 @@ func TestLRUMatchesModel(t *testing.T) {
 
 func TestResidentNeverExceedsCapacity(t *testing.T) {
 	f := func(addrs []uint16) bool {
-		c := MustNew(Params{SizeBytes: 512, Assoc: 2, BlockBytes: 64})
+		c := mustNew(t, Params{SizeBytes: 512, Assoc: 2, BlockBytes: 64})
 		for _, a := range addrs {
 			addr := uint64(a)
 			if _, hit := c.Access(addr, false); !hit {
@@ -248,7 +248,7 @@ func TestResidentNeverExceedsCapacity(t *testing.T) {
 
 func TestInsertedBlockAlwaysResident(t *testing.T) {
 	f := func(addrs []uint32) bool {
-		c := MustNew(Params{SizeBytes: 1024, Assoc: 4, BlockBytes: 32})
+		c := mustNew(t, Params{SizeBytes: 1024, Assoc: 4, BlockBytes: 32})
 		for _, a := range addrs {
 			addr := uint64(a)
 			c.Insert(addr, 0, false)
@@ -346,4 +346,16 @@ func TestMSHRWaiterOrderProperty(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustNew builds a cache from known-valid parameters, failing the test on
+// a constructor error (the panicking MustNew was removed when config
+// validation moved to returned errors).
+func mustNew(t *testing.T, p Params) *Cache {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"repro/internal/bpred"
+	"repro/internal/chaos"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -252,11 +253,18 @@ type Core struct {
 	// metrics, when non-nil, observes load-to-use distances at dispatch.
 	metrics *metrics.Collector
 
+	// chaos, when non-nil, draws deterministic panic injections at the top
+	// of Step (the supervision layer's core-level fault point).
+	chaos *chaos.Injector
+
 	Stats Stats
 }
 
 // SetMetrics attaches (or detaches, with nil) an observability collector.
 func (c *Core) SetMetrics(m *metrics.Collector) { c.metrics = m }
+
+// SetChaos attaches (or detaches, with nil) a fault injector.
+func (c *Core) SetChaos(in *chaos.Injector) { c.chaos = in }
 
 // New builds a core bound to a program, an instruction port, and memory.
 func New(cfg Config, prog *isa.Program, imem *mem.IUnit, dmem DMem, env Env) (*Core, error) {

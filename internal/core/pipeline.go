@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/chaos"
 	"repro/internal/isa"
 )
 
@@ -24,6 +25,9 @@ const neverWake = math.MaxUint64
 func (c *Core) Step(cycle uint64) bool {
 	if !c.running && c.robCount == 0 && len(c.wrongQ) == 0 {
 		return false
+	}
+	if c.chaos != nil {
+		c.chaos.Panic(chaos.PointCoreStep)
 	}
 	for i := range c.fuUsed {
 		c.fuUsed[i] = 0

@@ -21,7 +21,7 @@ import (
 func TestAttribReconcilesMcfWEC(t *testing.T) {
 	r := NewRunner(1)
 	r.Attrib = true
-	cfg := cfg8(config.WTHWPWEC, nil)
+	cfg := new(cfgset).at8(config.WTHWPWEC, nil)
 	res, err := r.Result("mcf", cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/config"
+	"repro/internal/simerr"
 	"repro/internal/sta"
 	"repro/internal/stats"
 )
@@ -95,19 +96,17 @@ var tuSweep = []int{1, 2, 4, 8, 16}
 // fig9 reports whole-program speedups of orig and wth-wp-wec machines with
 // 1-16 TUs against the single-TU orig machine.
 func fig9(r *Runner) (*stats.Table, error) {
-	mk := func(name config.Name, tus int) sta.Config {
-		cfg := config.Main(tus)
-		if err := config.Apply(name, &cfg); err != nil {
-			panic(err)
-		}
-		return cfg
-	}
+	cs := new(cfgset)
+	mk := cs.main
 	var jobs []job
 	for _, b := range Benches() {
 		for _, n := range tuSweep {
 			jobs = append(jobs, job{b.Short, mk(config.Orig, n)})
 			jobs = append(jobs, job{b.Short, mk(config.WTHWPWEC, n)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -148,19 +147,17 @@ func fig9(r *Runner) (*stats.Table, error) {
 // fig10 reports the wth-wp-wec speedup over the orig machine with the same
 // thread-unit count.
 func fig10(r *Runner) (*stats.Table, error) {
-	mk := func(name config.Name, tus int) sta.Config {
-		cfg := config.Main(tus)
-		if err := config.Apply(name, &cfg); err != nil {
-			panic(err)
-		}
-		return cfg
-	}
+	cs := new(cfgset)
+	mk := cs.main
 	var jobs []job
 	for _, b := range Benches() {
 		for _, n := range tuSweep {
 			jobs = append(jobs, job{b.Short, mk(config.Orig, n)})
 			jobs = append(jobs, job{b.Short, mk(config.WTHWPWEC, n)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -195,26 +192,58 @@ func fig10(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
-// cfg8 builds an 8-TU machine in the named configuration.
-func cfg8(name config.Name, mut func(*sta.Config)) sta.Config {
+// cfgset builds the machine configurations one experiment sweeps over,
+// accumulating the first construction error instead of panicking; the
+// experiment checks Err once after assembling its job list, before any
+// simulation runs.
+type cfgset struct{ err error }
+
+func (cs *cfgset) note(err error) {
+	if cs.err == nil && err != nil {
+		cs.err = err
+	}
+}
+
+// Err returns the first configuration-construction error, classified into
+// the taxonomy.
+func (cs *cfgset) Err() error {
+	if cs.err == nil {
+		return nil
+	}
+	return simerr.Classify("harness.config", cs.err, simerr.BadProgram)
+}
+
+// main builds the main machine with tus thread units in the named
+// configuration.
+func (cs *cfgset) main(name config.Name, tus int) sta.Config {
+	cfg := config.Main(tus)
+	cs.note(config.Apply(name, &cfg))
+	return cfg
+}
+
+// at8 builds an 8-TU machine in the named configuration, applying mut to
+// the base machine first.
+func (cs *cfgset) at8(name config.Name, mut func(*sta.Config)) sta.Config {
 	cfg := config.Main(8)
 	if mut != nil {
 		mut(&cfg)
 	}
-	if err := config.Apply(name, &cfg); err != nil {
-		panic(err)
-	}
+	cs.note(config.Apply(name, &cfg))
 	return cfg
 }
 
 // fig11 compares all configurations at 8 TUs against orig.
 func fig11(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	names := config.Names()
 	var jobs []job
 	for _, b := range Benches() {
 		for _, n := range names {
-			jobs = append(jobs, job{b.Short, cfg8(n, nil)})
+			jobs = append(jobs, job{b.Short, cs.at8(n, nil)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -226,13 +255,13 @@ func fig11(r *Runner) (*stats.Table, error) {
 	t := &stats.Table{Header: hdr}
 	perCol := make([][]float64, len(names)-1)
 	for _, b := range Benches() {
-		or, err := r.Result(b.Short, cfg8(config.Orig, nil))
+		or, err := r.Result(b.Short, cs.at8(config.Orig, nil))
 		if err != nil {
 			return nil, err
 		}
 		cells := []string{b.Short}
 		for i, n := range names[1:] {
-			res, err := r.Result(b.Short, cfg8(n, nil))
+			res, err := r.Result(b.Short, cs.at8(n, nil))
 			if err != nil {
 				return nil, err
 			}
@@ -253,10 +282,11 @@ func fig11(r *Runner) (*stats.Table, error) {
 // cache and WEC configurations; each row's baseline is orig at the same
 // associativity.
 func fig12(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	assocs := []int{1, 4}
 	names := []config.Name{config.VC, config.WTHWPVC, config.WTHWPWEC}
 	mkA := func(name config.Name, assoc int) sta.Config {
-		return cfg8(name, func(c *sta.Config) { c.Mem.L1DAssoc = assoc })
+		return cs.at8(name, func(c *sta.Config) { c.Mem.L1DAssoc = assoc })
 	}
 	var jobs []job
 	for _, b := range Benches() {
@@ -266,6 +296,9 @@ func fig12(r *Runner) (*stats.Table, error) {
 				jobs = append(jobs, job{b.Short, mkA(n, a)})
 			}
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -302,9 +335,10 @@ func fig12(r *Runner) (*stats.Table, error) {
 // fig13 sweeps the L1 data cache size, reporting execution time normalized
 // to orig with the smallest L1.
 func fig13(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	sizes := []int{4, 8, 16, 32} // KB
 	mkS := func(name config.Name, kb int) sta.Config {
-		return cfg8(name, func(c *sta.Config) { c.Mem.L1DSize = kb * 1024 })
+		return cs.at8(name, func(c *sta.Config) { c.Mem.L1DSize = kb * 1024 })
 	}
 	var jobs []job
 	for _, b := range Benches() {
@@ -312,6 +346,9 @@ func fig13(r *Runner) (*stats.Table, error) {
 			jobs = append(jobs, job{b.Short, mkS(config.Orig, kb)})
 			jobs = append(jobs, job{b.Short, mkS(config.WTHWPWEC, kb)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -345,9 +382,10 @@ func fig13(r *Runner) (*stats.Table, error) {
 // fig14 sweeps the shared L2 size (the paper's 128/256/512 KB progression,
 // scaled 1:2:4 to this repo's workload footprints as 32/64/128 KB).
 func fig14(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	sizes := []int{32, 64, 128} // KB
 	mkS := func(name config.Name, kb int) sta.Config {
-		return cfg8(name, func(c *sta.Config) { c.Mem.L2Size = kb * 1024 })
+		return cs.at8(name, func(c *sta.Config) { c.Mem.L2Size = kb * 1024 })
 	}
 	var jobs []job
 	for _, b := range Benches() {
@@ -355,6 +393,9 @@ func fig14(r *Runner) (*stats.Table, error) {
 			jobs = append(jobs, job{b.Short, mkS(config.Orig, kb)})
 			jobs = append(jobs, job{b.Short, mkS(config.WTHWPWEC, kb)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -388,17 +429,21 @@ func fig14(r *Runner) (*stats.Table, error) {
 // sweepSideSizes builds the Figure 15/16 style comparisons: relative
 // speedup over orig for each (configuration, side-buffer entries) pair.
 func sweepSideSizes(r *Runner, names []config.Name, sizes []int) (*stats.Table, error) {
+	cs := new(cfgset)
 	mkE := func(name config.Name, entries int) sta.Config {
-		return cfg8(name, func(c *sta.Config) { c.Mem.SideEntries = entries })
+		return cs.at8(name, func(c *sta.Config) { c.Mem.SideEntries = entries })
 	}
 	var jobs []job
 	for _, b := range Benches() {
-		jobs = append(jobs, job{b.Short, cfg8(config.Orig, nil)})
+		jobs = append(jobs, job{b.Short, cs.at8(config.Orig, nil)})
 		for _, n := range names {
 			for _, e := range sizes {
 				jobs = append(jobs, job{b.Short, mkE(n, e)})
 			}
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -414,7 +459,7 @@ func sweepSideSizes(r *Runner, names []config.Name, sizes []int) (*stats.Table, 
 			cells := []string{fmt.Sprintf("%s %d", n, e)}
 			var col []float64
 			for _, b := range Benches() {
-				or, err := r.Result(b.Short, cfg8(config.Orig, nil))
+				or, err := r.Result(b.Short, cs.at8(config.Orig, nil))
 				if err != nil {
 					return nil, err
 				}
@@ -449,10 +494,14 @@ func fig16(r *Runner) (*stats.Table, error) {
 // fig17 reports the wth-wp-wec L1 data-traffic increase and miss-count
 // reduction relative to orig.
 func fig17(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	var jobs []job
 	for _, b := range Benches() {
-		jobs = append(jobs, job{b.Short, cfg8(config.Orig, nil)})
-		jobs = append(jobs, job{b.Short, cfg8(config.WTHWPWEC, nil)})
+		jobs = append(jobs, job{b.Short, cs.at8(config.Orig, nil)})
+		jobs = append(jobs, job{b.Short, cs.at8(config.WTHWPWEC, nil)})
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -462,11 +511,11 @@ func fig17(r *Runner) (*stats.Table, error) {
 	}}
 	var trafficSum, missSum float64
 	for _, b := range Benches() {
-		or, err := r.Result(b.Short, cfg8(config.Orig, nil))
+		or, err := r.Result(b.Short, cs.at8(config.Orig, nil))
 		if err != nil {
 			return nil, err
 		}
-		we, err := r.Result(b.Short, cfg8(config.WTHWPWEC, nil))
+		we, err := r.Result(b.Short, cs.at8(config.WTHWPWEC, nil))
 		if err != nil {
 			return nil, err
 		}
@@ -487,6 +536,7 @@ func fig17(r *Runner) (*stats.Table, error) {
 // fill isolation, victim caching, and next-line prefetching on wrong hits.
 // Each row disables one role of the full wth-wp-wec configuration.
 func ablation(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	variants := []struct {
 		name string
 		mut  func(*sta.Config)
@@ -501,10 +551,13 @@ func ablation(r *Runner) (*stats.Table, error) {
 	}
 	var jobs []job
 	for _, b := range Benches() {
-		jobs = append(jobs, job{b.Short, cfg8(config.Orig, nil)})
+		jobs = append(jobs, job{b.Short, cs.at8(config.Orig, nil)})
 		for _, v := range variants {
-			jobs = append(jobs, job{b.Short, cfg8(config.WTHWPWEC, v.mut)})
+			jobs = append(jobs, job{b.Short, cs.at8(config.WTHWPWEC, v.mut)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -519,11 +572,11 @@ func ablation(r *Runner) (*stats.Table, error) {
 		cells := []string{v.name}
 		var col []float64
 		for _, b := range Benches() {
-			or, err := r.Result(b.Short, cfg8(config.Orig, nil))
+			or, err := r.Result(b.Short, cs.at8(config.Orig, nil))
 			if err != nil {
 				return nil, err
 			}
-			res, err := r.Result(b.Short, cfg8(config.WTHWPWEC, v.mut))
+			res, err := r.Result(b.Short, cs.at8(config.WTHWPWEC, v.mut))
 			if err != nil {
 				return nil, err
 			}
@@ -544,16 +597,20 @@ func ablation(r *Runner) (*stats.Table, error) {
 // side buffer), nlp prefetches without wrong execution, vc is a victim
 // cache alone, and wth-wp-wec combines all three roles.
 func gainDecomp(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	prevOn, prevTop := r.Attrib, r.AttribTopN
 	r.Attrib = true
 	defer func() { r.Attrib, r.AttribTopN = prevOn, prevTop }()
 	names := []config.Name{config.WTHWP, config.NLP, config.VC, config.WTHWPWEC}
 	var jobs []job
 	for _, b := range Benches() {
-		jobs = append(jobs, job{b.Short, cfg8(config.Orig, nil)})
+		jobs = append(jobs, job{b.Short, cs.at8(config.Orig, nil)})
 		for _, n := range names {
-			jobs = append(jobs, job{b.Short, cfg8(n, nil)})
+			jobs = append(jobs, job{b.Short, cs.at8(n, nil)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -565,15 +622,15 @@ func gainDecomp(r *Runner) (*stats.Table, error) {
 		var col []float64
 		var spec, useful, late, useless, polluting, victims uint64
 		for _, b := range Benches() {
-			or, err := r.Result(b.Short, cfg8(config.Orig, nil))
+			or, err := r.Result(b.Short, cs.at8(config.Orig, nil))
 			if err != nil {
 				return nil, err
 			}
-			res, err := r.Result(b.Short, cfg8(n, nil))
+			res, err := r.Result(b.Short, cs.at8(n, nil))
 			if err != nil {
 				return nil, err
 			}
-			rep, err := r.AttribReport(b.Short, cfg8(n, nil))
+			rep, err := r.AttribReport(b.Short, cs.at8(n, nil))
 			if err != nil {
 				return nil, err
 			}
@@ -623,9 +680,10 @@ func table1(r *Runner) (*stats.Table, error) {
 // latencies. Longer memories leave more latency for wrong execution to
 // hide, so the WEC's edge should grow.
 func extLatency(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	lats := []int{100, 200, 400}
 	mk := func(name config.Name, lat int) sta.Config {
-		return cfg8(name, func(c *sta.Config) { c.Mem.MemLat = lat })
+		return cs.at8(name, func(c *sta.Config) { c.Mem.MemLat = lat })
 	}
 	var jobs []job
 	for _, b := range Benches() {
@@ -633,6 +691,9 @@ func extLatency(r *Runner) (*stats.Table, error) {
 			jobs = append(jobs, job{b.Short, mk(config.Orig, lat)})
 			jobs = append(jobs, job{b.Short, mk(config.WTHWPWEC, lat)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -667,9 +728,10 @@ func extLatency(r *Runner) (*stats.Table, error) {
 // extBlockSize is the paper's §7 future-work item "the effects of the
 // block size": WEC speedup with 32/64/128-byte L1 blocks.
 func extBlockSize(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	sizes := []int{32, 64, 128}
 	mk := func(name config.Name, bs int) sta.Config {
-		return cfg8(name, func(c *sta.Config) { c.Mem.L1DBlock = bs })
+		return cs.at8(name, func(c *sta.Config) { c.Mem.L1DBlock = bs })
 	}
 	var jobs []job
 	for _, b := range Benches() {
@@ -677,6 +739,9 @@ func extBlockSize(r *Runner) (*stats.Table, error) {
 			jobs = append(jobs, job{b.Short, mk(config.Orig, bs)})
 			jobs = append(jobs, job{b.Short, mk(config.WTHWPWEC, bs)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err
@@ -713,9 +778,10 @@ func extBlockSize(r *Runner) (*stats.Table, error) {
 // speedup under direction predictors of increasing quality. Worse
 // prediction means more wrong-path execution to harvest.
 func extBpred(r *Runner) (*stats.Table, error) {
+	cs := new(cfgset)
 	kinds := []bpred.DirKind{bpred.DirTaken, bpred.DirBimodal, bpred.DirGshare, bpred.DirComb}
 	mk := func(name config.Name, kind bpred.DirKind) sta.Config {
-		return cfg8(name, func(c *sta.Config) { c.Core.Bpred.Dir = kind })
+		return cs.at8(name, func(c *sta.Config) { c.Core.Bpred.Dir = kind })
 	}
 	var jobs []job
 	for _, b := range Benches() {
@@ -723,6 +789,9 @@ func extBpred(r *Runner) (*stats.Table, error) {
 			jobs = append(jobs, job{b.Short, mk(config.Orig, k)})
 			jobs = append(jobs, job{b.Short, mk(config.WTHWPWEC, k)})
 		}
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
 	}
 	if err := r.batch(jobs); err != nil {
 		return nil, err

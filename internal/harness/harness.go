@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -13,11 +14,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/attrib"
+	"repro/internal/chaos"
 	"repro/internal/interp"
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/simerr"
 	"repro/internal/sta"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -52,11 +56,32 @@ type Runner struct {
 	// AttribTopN bounds the per-PC table in each report (0 = default).
 	AttribTopN int
 
+	// Ctx, when non-nil, cancels in-flight and pending simulations (wire
+	// it to signal.NotifyContext for graceful SIGINT handling).
+	Ctx context.Context
+	// Timeout bounds each simulation's wall-clock time; 0 means no limit.
+	// Expiry fails that cell with a Timeout-kind error.
+	Timeout time.Duration
+	// Chaos, when any probability is set, attaches a deterministic fault
+	// injector to every simulation, salted with the cell's memo key.
+	Chaos chaos.Config
+	// Retries bounds re-attempts of transient IO-kind failures (metrics,
+	// attribution, and ledger writes). 0 means the default (3); negative
+	// disables retrying.
+	Retries int
+	// RetryBackoff is the initial IO retry delay, doubled per attempt and
+	// capped; 0 means the default (5ms).
+	RetryBackoff time.Duration
+	// Ledger, when non-nil, journals each completed cell so an interrupted
+	// suite can resume (see OpenLedger and Prefill).
+	Ledger *Ledger
+
 	mu      sync.Mutex
 	results map[string]*sta.Result
 	attribs map[string]*attrib.Report
 	progs   map[string]*isa.Program
 	refs    map[string]*interp.Result
+	failed  map[string]error // quarantined cells: memo key -> first failure
 
 	vmu       sync.Mutex
 	completed int
@@ -136,9 +161,23 @@ func key(bench string, cfg sta.Config) string {
 // outcome against the functional reference. Every fresh run is also checked
 // against the cross-counter statistic invariants, and — when Attrib is set —
 // against the attribution report's internal accounting.
-func (r *Runner) Result(bench string, cfg sta.Config) (*sta.Result, error) {
+//
+// Runs are supervised: panics anywhere in the cell become Panic-kind
+// errors instead of killing the process, Ctx/Timeout bound the run, IO
+// failures on the export paths are retried, and a failed cell is
+// quarantined so later lookups fail fast (see SuiteError).
+func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err error) {
 	k := key(bench, cfg)
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, r.quarantine(k, bench, simerr.FromPanic("harness.Result", rec))
+		}
+	}()
 	r.mu.Lock()
+	if qerr, bad := r.failed[k]; bad {
+		r.mu.Unlock()
+		return nil, qerr
+	}
 	res, ok := r.results[k]
 	if ok && r.Attrib && r.attribs[k] == nil {
 		ok = false // cached without attribution: simulate again for the report
@@ -149,15 +188,15 @@ func (r *Runner) Result(bench string, cfg sta.Config) (*sta.Result, error) {
 	}
 	p, err := r.program(bench)
 	if err != nil {
-		return nil, err
+		return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 	}
 	ref, err := r.Reference(bench)
 	if err != nil {
-		return nil, err
+		return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 	}
 	m, err := sta.New(cfg, p)
 	if err != nil {
-		return nil, err
+		return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 	}
 	var col *metrics.Collector
 	if r.MetricsInterval > 0 {
@@ -171,32 +210,45 @@ func (r *Runner) Result(bench string, cfg sta.Config) (*sta.Result, error) {
 		ac.TopN = r.AttribTopN
 		m.Attrib = ac
 	}
-	res, err = m.Run()
+	res, err = r.runSupervised(k, m)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s: %w", bench, err)
+		return nil, r.quarantine(k, bench, err)
 	}
 	if res.MemCheck != ref.MemCheck {
-		return nil, fmt.Errorf("harness: %s: architectural mismatch: machine %#x, reference %#x (configuration changed results)",
-			bench, res.MemCheck, ref.MemCheck)
+		return nil, r.quarantine(k, bench, simerr.Errorf(simerr.BadProgram, "harness.Result",
+			"architectural mismatch: machine %#x, reference %#x (configuration changed results)",
+			res.MemCheck, ref.MemCheck))
 	}
 	if err := res.Stats.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("harness: %s: %w", bench, err)
+		return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 	}
 	if col != nil && r.MetricsDir != "" {
-		if err := r.writeMetrics(bench, k, col, res.Stats.Cycles); err != nil {
-			return nil, err
+		err := r.retryIO(func() error {
+			return classifyIO("harness.metrics", r.writeMetrics(bench, k, col, res.Stats.Cycles))
+		})
+		if err != nil {
+			return nil, r.quarantine(k, bench, err)
 		}
 	}
 	var rep *attrib.Report
 	if ac != nil {
 		rep = ac.Report(res.Stats.Cycles)
 		if err := rep.CheckInternal(); err != nil {
-			return nil, fmt.Errorf("harness: %s: %w", bench, err)
+			return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 		}
 		if r.AttribDir != "" {
-			if err := r.writeAttrib(bench, k, rep); err != nil {
-				return nil, err
+			err := r.retryIO(func() error {
+				return classifyIO("harness.attrib", r.writeAttrib(bench, k, rep))
+			})
+			if err != nil {
+				return nil, r.quarantine(k, bench, err)
 			}
+		}
+	}
+	if r.Ledger != nil {
+		err := r.retryIO(func() error { return r.Ledger.Append(k, res) })
+		if err != nil {
+			return nil, r.quarantine(k, bench, err)
 		}
 	}
 	r.mu.Lock()
@@ -271,7 +323,10 @@ func (r *Runner) writeAttrib(bench, key string, rep *attrib.Report) error {
 	return f.Close()
 }
 
-// batch runs all jobs concurrently, memoizing results.
+// batch runs all jobs concurrently, memoizing results. A failed cell does
+// not abort the batch: the failure is quarantined, every other cell still
+// runs (and is journaled, when a ledger is attached), and the batch
+// returns a *SuiteError aggregating everything that went wrong.
 func (r *Runner) batch(jobs []job) error {
 	workers := r.Workers
 	if workers <= 0 {
@@ -284,15 +339,23 @@ func (r *Runner) batch(jobs []job) error {
 		workers = 1
 	}
 	jobc := make(chan job)
-	errc := make(chan error, len(jobs))
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		fmu      sync.Mutex
+		failures map[string]error
+	)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobc {
 				if _, err := r.Result(j.bench, j.cfg); err != nil {
-					errc <- err
+					fmu.Lock()
+					if failures == nil {
+						failures = make(map[string]error)
+					}
+					failures[key(j.bench, j.cfg)] = err
+					fmu.Unlock()
 				}
 			}
 		}()
@@ -302,11 +365,8 @@ func (r *Runner) batch(jobs []job) error {
 	}
 	close(jobc)
 	wg.Wait()
-	close(errc)
-	for err := range errc {
-		if err != nil {
-			return err
-		}
+	if len(failures) > 0 {
+		return &SuiteError{Total: len(jobs), Failures: failures}
 	}
 	return nil
 }

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/chaos"
+	"repro/internal/simerr"
+	"repro/internal/sta"
+)
+
+// ledgerVersion is bumped whenever the on-disk entry format changes.
+const ledgerVersion = 1
+
+// ledgerHeader is the first line of a ledger file. The scale is recorded so
+// a resume cannot silently mix results from differently-sized workloads.
+type ledgerHeader struct {
+	V     int `json:"v"`
+	Scale int `json:"scale"`
+}
+
+// ledgerEntry is one completed simulation: the memoization key and its
+// full result. stats.Sim and the architectural registers are integers, so
+// the entry round-trips bit-identically through JSON.
+type ledgerEntry struct {
+	Key    string      `json:"key"`
+	Result *sta.Result `json:"result"`
+}
+
+// Ledger journals completed simulation results to disk as JSON lines so an
+// interrupted suite can resume without re-simulating finished cells. The
+// first line is a header; each later line is one entry, flushed to the
+// file as it completes, so a killed process loses at most the entry being
+// written. A torn final line is detected and dropped on the next open.
+//
+// Appends are serialized internally; one Ledger may back a whole worker
+// pool.
+type Ledger struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	chaos *chaos.Injector
+}
+
+// OpenLedger opens (creating if needed) the ledger at path and returns it
+// together with every intact entry already journaled there. A truncated
+// trailing line — the signature of a run killed mid-append — is discarded
+// and the file truncated back to the last good entry. Opening a ledger
+// written at a different version or workload scale is an error rather than
+// a silent mix of incompatible results.
+func OpenLedger(path string, scale int) (*Ledger, map[string]*sta.Result, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, simerr.Classify("harness.ledger", err, simerr.IO)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, simerr.Classify("harness.ledger", err, simerr.IO)
+	}
+	prior := make(map[string]*sta.Result)
+	off := 0
+	for first := true; off < len(data); first = false {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: the append was interrupted mid-line
+		}
+		line := data[off : off+nl]
+		if first {
+			var h ledgerHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("harness: ledger %s: corrupt header (delete the file to start over): %w", path, err)
+			}
+			if h.V != ledgerVersion || h.Scale != scale {
+				f.Close()
+				return nil, nil, fmt.Errorf("harness: ledger %s was written at v%d scale %d, want v%d scale %d (match -scale or delete the file)",
+					path, h.V, h.Scale, ledgerVersion, scale)
+			}
+		} else {
+			var e ledgerEntry
+			if err := json.Unmarshal(line, &e); err != nil || e.Result == nil {
+				break // torn or corrupt entry: drop it and everything after
+			}
+			prior[e.Key] = e.Result
+		}
+		off += nl + 1
+	}
+	if err := f.Truncate(int64(off)); err != nil {
+		f.Close()
+		return nil, nil, simerr.Classify("harness.ledger", err, simerr.IO)
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, simerr.Classify("harness.ledger", err, simerr.IO)
+	}
+	l := &Ledger{f: f, path: path}
+	if off == 0 {
+		hdr, _ := json.Marshal(ledgerHeader{V: ledgerVersion, Scale: scale})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, nil, simerr.Classify("harness.ledger", err, simerr.IO)
+		}
+	}
+	return l, prior, nil
+}
+
+// SetChaos attaches (or with nil detaches) a fault injector whose
+// ledger-write point makes Append fail transiently.
+func (l *Ledger) SetChaos(in *chaos.Injector) { l.chaos = in }
+
+// Path returns the ledger's file path.
+func (l *Ledger) Path() string { return l.path }
+
+// Append journals one completed result. Failures are IO-kind (and so
+// retried by the Runner's IO retry policy).
+func (l *Ledger) Append(key string, res *sta.Result) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.chaos.FailWrite(); err != nil {
+		return simerr.Classify("harness.ledger", err, simerr.IO)
+	}
+	line, err := json.Marshal(ledgerEntry{Key: key, Result: res})
+	if err != nil {
+		return simerr.Classify("harness.ledger", err, simerr.IO)
+	}
+	if _, err := l.f.Write(append(line, '\n')); err != nil {
+		return simerr.Classify("harness.ledger", err, simerr.IO)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	if err != nil {
+		return simerr.Classify("harness.ledger", err, simerr.IO)
+	}
+	return nil
+}

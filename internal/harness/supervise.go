@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/simerr"
+	"repro/internal/sta"
+)
+
+// SuiteError aggregates every failed cell of a batch that kept going past
+// individual failures (the quarantine policy): the healthy cells finished
+// and were memoized/journaled, and this error reports the rest.
+type SuiteError struct {
+	Total    int              // distinct cells the batch attempted
+	Failures map[string]error // memo key -> classified failure
+}
+
+// Error summarizes the damage by failure kind; per-cell detail is in
+// Failures (render with Detail).
+func (e *SuiteError) Error() string {
+	kinds := e.Kinds()
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k.String())
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		for k, c := range kinds {
+			if k.String() == n {
+				parts = append(parts, fmt.Sprintf("%d %s", c, n))
+			}
+		}
+	}
+	return fmt.Sprintf("harness: %d of %d cells failed (%s)",
+		len(e.Failures), e.Total, strings.Join(parts, ", "))
+}
+
+// Kinds counts the quarantined failures by taxonomy kind.
+func (e *SuiteError) Kinds() map[simerr.Kind]int {
+	kinds := make(map[simerr.Kind]int)
+	for _, err := range e.Failures {
+		kinds[simerr.KindOf(err)]++
+	}
+	return kinds
+}
+
+// Detail renders one line per quarantined cell, sorted by key for
+// deterministic output.
+func (e *SuiteError) Detail() string {
+	keys := make([]string, 0, len(e.Failures))
+	for k := range e.Failures {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %v\n", e.Failures[k])
+	}
+	return b.String()
+}
+
+// shortKey compresses a memo key into the same 8-hex-digit tag the metrics
+// and attribution exports use, so error messages, file names, and ledger
+// keys cross-reference.
+func shortKey(k string) string {
+	h := fnv.New32a()
+	h.Write([]byte(k))
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// quarantine classifies and records a failed cell so later lookups fail
+// fast instead of re-running known-bad work, and tags the error with the
+// cell identity.
+func (r *Runner) quarantine(k, bench string, err error) error {
+	e := simerr.Classify("harness.Result", err, simerr.Unknown)
+	if e.Bench == "" {
+		e.Bench = bench
+	}
+	if e.Config == "" {
+		e.Config = "cfg-" + shortKey(k)
+	}
+	r.mu.Lock()
+	if r.failed == nil {
+		r.failed = make(map[string]error)
+	}
+	r.failed[k] = e
+	r.mu.Unlock()
+	return e
+}
+
+// runSupervised executes one machine run under the supervision policy:
+// context cancellation, the per-run wall-clock timeout, and — when chaos
+// is enabled — a deterministic fault injector salted with the memo key, so
+// worker scheduling order cannot change which cells fault. Panic recovery
+// and the forward-progress watchdog live inside RunContext itself.
+func (r *Runner) runSupervised(k string, m *sta.Machine) (*sta.Result, error) {
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
+	if r.Chaos.Enabled() {
+		m.Chaos = chaos.New(r.Chaos, k)
+	}
+	return m.RunContext(ctx)
+}
+
+// retryIO runs op, retrying IO-kind failures with capped exponential
+// backoff; any other kind (or exhausted retries) is returned as-is. IO
+// failures are the only class the supervisor treats as transient.
+func (r *Runner) retryIO(op func() error) error {
+	retries := r.Retries
+	if retries == 0 {
+		retries = 3
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := r.RetryBackoff
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+	const maxBackoff = 250 * time.Millisecond
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil || attempt >= retries || simerr.KindOf(err) != simerr.IO {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// classifyIO wraps a write-path error into the IO kind (nil stays nil).
+func classifyIO(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return simerr.Classify(op, err, simerr.IO)
+}
+
+// Prefill seeds the memoization table with previously-journaled results
+// (see OpenLedger), so a resumed suite skips every finished cell.
+func (r *Runner) Prefill(results map[string]*sta.Result) {
+	r.mu.Lock()
+	for k, res := range results {
+		r.results[k] = res
+	}
+	r.mu.Unlock()
+}

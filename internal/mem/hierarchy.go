@@ -3,6 +3,7 @@ package mem
 import (
 	"repro/internal/attrib"
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 )
 
@@ -28,6 +29,7 @@ type Hierarchy struct {
 	pool    reqPool
 	nextID  int64
 	cycle   uint64
+	chaos   *chaos.Injector
 
 	// Statistics.
 	L2Accesses uint64
@@ -150,6 +152,10 @@ func (h *Hierarchy) SetAttrib(a *attrib.Collector) {
 	}
 }
 
+// SetChaos attaches (or detaches, with nil) a fault injector; its
+// slow-cycle point fires inside Tick.
+func (h *Hierarchy) SetChaos(in *chaos.Injector) { h.chaos = in }
+
 // BeginCycle resets per-cycle port state; call before stepping the cores.
 func (h *Hierarchy) BeginCycle(cycle uint64) {
 	h.cycle = cycle
@@ -188,6 +194,9 @@ func (h *Hierarchy) SequentialUpdate(srcTU int, addr uint64) {
 // DRAM completions fill the L2, and finished fills are delivered to the L1
 // units. Call after stepping the cores each cycle.
 func (h *Hierarchy) Tick(cycle uint64) {
+	if h.chaos != nil {
+		h.chaos.SlowCycle()
+	}
 	// L2 accepts one request per cycle, FIFO.
 	if h.l2qHead < len(h.l2Queue) && h.l2Queue[h.l2qHead].ready <= cycle {
 		req := h.l2Queue[h.l2qHead]

@@ -1,0 +1,114 @@
+package simerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Unknown:    "unknown",
+		Panic:      "panic",
+		Deadlock:   "deadlock",
+		Runaway:    "runaway",
+		Timeout:    "timeout",
+		Canceled:   "canceled",
+		BadProgram: "bad-program",
+		IO:         "io",
+		Kind(42):   "kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	e := &Error{
+		Kind:   Deadlock,
+		Op:     "sta.Run",
+		Bench:  "mcf",
+		Config: "wth-wp-wec",
+		Cycle:  12345,
+		TUs:    []TUState{{ID: 0, State: "run", Pred: -1, Succ: 1, Running: true, Head: "rob empty"}},
+	}
+	msg := e.Error()
+	for _, want := range []string{"sta.Run", "deadlock", "mcf", "wth-wp-wec", "12345"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	dump := e.DumpState()
+	if !strings.Contains(dump, "tu0 run") || !strings.Contains(dump, "succ=1") {
+		t.Errorf("DumpState() missing TU state:\n%s", dump)
+	}
+}
+
+func TestUnwrapAndKindOf(t *testing.T) {
+	cause := errors.New("boom")
+	e := New(Runaway, "sta.Run", cause)
+	wrapped := fmt.Errorf("harness: mcf: %w", e)
+	if !errors.Is(wrapped, cause) {
+		t.Error("cause lost through wrapping")
+	}
+	if KindOf(wrapped) != Runaway {
+		t.Errorf("KindOf = %v, want Runaway", KindOf(wrapped))
+	}
+	if KindOf(errors.New("plain")) != Unknown {
+		t.Error("plain error should classify Unknown")
+	}
+	if KindOf(nil) != Unknown {
+		t.Error("nil error should classify Unknown")
+	}
+}
+
+func TestFromPanicCarriesStack(t *testing.T) {
+	var e *Error
+	func() {
+		defer func() {
+			e = FromPanic("test.op", recover())
+		}()
+		panic("injected")
+	}()
+	if e == nil || e.Kind != Panic {
+		t.Fatalf("FromPanic kind = %+v", e)
+	}
+	if !strings.Contains(e.Err.Error(), "injected") {
+		t.Errorf("cause = %v", e.Err)
+	}
+	if len(e.Stack) == 0 || !strings.Contains(string(e.Stack), "TestFromPanicCarriesStack") {
+		t.Error("stack missing or does not show the panicking test frame")
+	}
+	if !strings.Contains(e.DumpState(), "goroutine") {
+		t.Error("DumpState should include the stack")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify("op", nil, IO) != nil {
+		t.Error("nil error should classify to nil")
+	}
+	if k := Classify("op", context.DeadlineExceeded, Unknown).Kind; k != Timeout {
+		t.Errorf("deadline = %v, want Timeout", k)
+	}
+	if k := Classify("op", fmt.Errorf("run: %w", context.Canceled), Unknown).Kind; k != Canceled {
+		t.Errorf("canceled = %v, want Canceled", k)
+	}
+	pathErr := &fs.PathError{Op: "open", Path: "/x", Err: errors.New("denied")}
+	if k := Classify("op", pathErr, Unknown).Kind; k != IO {
+		t.Errorf("path error = %v, want IO", k)
+	}
+	if k := Classify("op", errors.New("mystery"), BadProgram).Kind; k != BadProgram {
+		t.Errorf("fallback = %v, want BadProgram", k)
+	}
+	// Existing taxonomy errors pass through unchanged.
+	orig := New(Deadlock, "sta.Run", nil)
+	if got := Classify("other", fmt.Errorf("wrap: %w", orig), IO); got != orig {
+		t.Error("Classify should preserve an existing *Error")
+	}
+}

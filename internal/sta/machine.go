@@ -1,16 +1,19 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
 	"repro/internal/asm"
 	"repro/internal/attrib"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/memimg"
 	"repro/internal/metrics"
+	"repro/internal/simerr"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -35,7 +38,22 @@ type Config struct {
 
 	// MaxCycles bounds a run; exceeded means deadlock or runaway.
 	MaxCycles uint64
+
+	// WatchdogCycles is the forward-progress watchdog window: if no
+	// instruction retires across any thread unit (and no thread starts or
+	// drains a store) for this many consecutive cycles, the run fails fast
+	// with a simerr.Deadlock carrying a full per-TU state dump — far
+	// earlier and far more diagnosable than the MaxCycles bound. 0 means
+	// DefaultWatchdogCycles.
+	WatchdogCycles uint64
 }
+
+// DefaultWatchdogCycles is the default forward-progress window. The
+// longest legitimate retirement gaps in this machine are a few hundred
+// cycles (DRAM round trips, fork transfers, write-back drains), so a
+// million-cycle window leaves three orders of magnitude of slack while
+// still firing 500x earlier than the default MaxCycles bound.
+const DefaultWatchdogCycles = 1_000_000
 
 // DefaultConfig returns the §5.2 default machine: eight 8-issue thread
 // units with 8 KB direct-mapped L1 data caches.
@@ -119,6 +137,12 @@ type Machine struct {
 	// for that test and for debugging.
 	DisableSkip bool
 
+	// Chaos, when non-nil, draws deterministic fault injections (panics,
+	// artificial livelocks, slow cycles) at the machine's probability
+	// points. Attach before Run; a nil injector costs one untaken nil
+	// check per cycle and leaves results bit-identical.
+	Chaos *chaos.Injector
+
 	cfg  Config
 	prog *isa.Program
 	img  *memimg.Image
@@ -131,6 +155,13 @@ type Machine struct {
 	regionMask int64
 	pending    *pendingFork
 	seqLoops   bool
+
+	// progress counts retirement-class events (committed instructions,
+	// drained stores, thread starts and deaths); the watchdog fires when
+	// it stays flat for WatchdogCycles. livelocked is set by the chaos
+	// injector to freeze every TU so the watchdog provably trips.
+	progress   uint64
+	livelocked bool
 
 	parCycles    uint64
 	forks        uint64
@@ -182,17 +213,61 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 
 // Run executes the program to completion and returns aggregate results.
 func (m *Machine) Run() (*Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run under supervision: panics inside the simulator are
+// recovered into simerr.Panic (with stack and machine state), ctx
+// cancellation and deadlines end the run with simerr.Canceled/Timeout, the
+// forward-progress watchdog turns silent livelocks into simerr.Deadlock,
+// and the MaxCycles bound reports simerr.Runaway. Every returned error is
+// a *simerr.Error carrying the failure cycle and a per-TU state snapshot.
+func (m *Machine) RunContext(ctx context.Context) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e := simerr.FromPanic("sta.Run", r)
+			e.Cycle = m.cycle
+			e.TUs = m.Snapshot()
+			res, err = nil, e
+		}
+	}()
 	m.attachMetrics()
 	m.attachAttrib()
+	m.attachChaos()
 	m.tus[0].startMain()
-	for !m.halted {
+	wd := m.cfg.WatchdogCycles
+	if wd == 0 {
+		wd = DefaultWatchdogCycles
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	lastProgress, lastProgressCycle := m.progress, m.cycle
+	for iter := uint64(0); !m.halted; iter++ {
+		if m.progress != lastProgress {
+			lastProgress, lastProgressCycle = m.progress, m.cycle
+		} else if m.cycle-lastProgressCycle >= wd {
+			return nil, m.stallError(simerr.Deadlock,
+				fmt.Errorf("no instruction retired for %d cycles (watchdog window)", wd))
+		}
 		if m.cycle >= m.cfg.MaxCycles {
-			return nil, fmt.Errorf("sta: exceeded %d cycles (deadlock or runaway) at pc states %s",
-				m.cfg.MaxCycles, m.debugState())
+			return nil, m.stallError(simerr.Runaway,
+				fmt.Errorf("exceeded %d cycles without halting", m.cfg.MaxCycles))
+		}
+		if done != nil && iter&1023 == 0 {
+			select {
+			case <-done:
+				e := simerr.Classify("sta.Run", ctx.Err(), simerr.Canceled)
+				e.Cycle = m.cycle
+				e.TUs = m.Snapshot()
+				return nil, e
+			default:
+			}
 		}
 		m.step()
 		if !m.halted && !m.DisableSkip {
-			m.skipIdle()
+			m.skipIdle(lastProgressCycle + wd)
 		}
 	}
 	// Drain: let outstanding wrong threads disappear with the machine; the
@@ -202,14 +277,42 @@ func (m *Machine) Run() (*Result, error) {
 	return m.result(), nil
 }
 
+// stallError builds the structured Deadlock/Runaway diagnostic.
+func (m *Machine) stallError(kind simerr.Kind, cause error) *simerr.Error {
+	e := simerr.New(kind, "sta.Run", cause)
+	e.Cycle = m.cycle
+	e.TUs = m.Snapshot()
+	return e
+}
+
+// attachChaos wires the fault injector into the cores and the memory
+// hierarchy; called once at the top of Run, like attachMetrics.
+func (m *Machine) attachChaos() {
+	if m.Chaos == nil {
+		return
+	}
+	for _, tu := range m.tus {
+		tu.core.SetChaos(m.Chaos)
+	}
+	m.hier.SetChaos(m.Chaos)
+}
+
 // step advances the whole machine one cycle.
 func (m *Machine) step() {
-	m.hier.BeginCycle(m.cycle)
-	for _, tu := range m.tus {
-		tu.step(m.cycle)
+	if m.Chaos != nil {
+		m.Chaos.Panic(chaos.PointMachineStep)
+		if m.Chaos.Hit(chaos.PointLivelock) {
+			m.livelocked = true
+		}
 	}
-	m.tryStartPending()
-	m.hier.Tick(m.cycle)
+	if !m.livelocked {
+		m.hier.BeginCycle(m.cycle)
+		for _, tu := range m.tus {
+			tu.step(m.cycle)
+		}
+		m.tryStartPending()
+		m.hier.Tick(m.cycle)
+	}
 	if m.inParallel {
 		m.parCycles++
 	}
@@ -225,18 +328,24 @@ func (m *Machine) step() {
 // empty cycles — advancing the clock, the parallel-cycle counter, and the
 // metrics sampler exactly as stepping would, but touching nothing else.
 // Called right after step, so m.cycle-1 is the cycle just stepped.
-func (m *Machine) skipIdle() {
+// wdDeadline is the cycle the forward-progress watchdog would fire at; the
+// skip stops there so the deadlock diagnostic trips at the same cycle it
+// would without skipping.
+func (m *Machine) skipIdle(wdDeadline uint64) {
 	wake := m.nextWake(m.cycle - 1)
 	if wake <= m.cycle {
 		return
+	}
+	if wake > wdDeadline {
+		wake = wdDeadline
 	}
 	if wake > m.cfg.MaxCycles {
 		// Stop at the limit so the runaway diagnostic fires at the same
 		// cycle it would without skipping.
 		wake = m.cfg.MaxCycles
-		if wake < m.cycle {
-			return
-		}
+	}
+	if wake < m.cycle {
+		return
 	}
 	for m.cycle < wake {
 		if m.inParallel {
@@ -343,6 +452,7 @@ func (m *Machine) startThread(pf *pendingFork, tu *threadUnit) {
 	tu.startedAt = m.cycle
 	tu.core.StartThread(pf.target, pf.mask, &pf.regs, tu.wrong)
 	m.forks++
+	m.progress++ // thread starts count as forward progress
 	m.emit(tu.id, trace.ThreadStart, int64(pf.target))
 }
 
@@ -409,10 +519,31 @@ func (m *Machine) result() *Result {
 	return r
 }
 
-func (m *Machine) debugState() string {
-	out := ""
-	for _, tu := range m.tus {
-		out += fmt.Sprintf("[tu%d st=%d wrong=%v run=%v] ", tu.id, tu.state, tu.wrong, tu.core.Running())
+// tuStateNames maps tuState values onto the names used in diagnostics.
+var tuStateNames = [...]string{
+	tuIdle:    "idle",
+	tuRun:     "run",
+	tuWBWait:  "wb-wait",
+	tuWBDrain: "wb-drain",
+}
+
+// Snapshot captures every thread unit's pipeline state for diagnostics:
+// the lifecycle state, the thread-chain links, the memory-buffer occupancy,
+// and the core's ROB-head summary. Used by the watchdog, the panic
+// supervisor, and stasim -dump-on-hang.
+func (m *Machine) Snapshot() []simerr.TUState {
+	out := make([]simerr.TUState, len(m.tus))
+	for i, tu := range m.tus {
+		out[i] = simerr.TUState{
+			ID:      tu.id,
+			State:   tuStateNames[tu.state],
+			Wrong:   tu.wrong,
+			Running: tu.core.Running(),
+			Pred:    tu.pred,
+			Succ:    tu.succ,
+			MemBuf:  tu.memBuf.size(),
+			Head:    tu.core.DebugHead(),
+		}
 	}
 	return out
 }

@@ -35,6 +35,7 @@ type threadUnit struct {
 	predChainAt   uint64
 
 	lastCommits uint64
+	lastWrong   uint64 // last observed wrong-thread commit count
 	parCommits  uint64
 	startedAt   uint64 // cycle the current thread began (metrics lifetime)
 }
@@ -70,6 +71,9 @@ func (tu *threadUnit) step(cycle uint64) {
 		tu.core.Step(cycle)
 		delta := tu.core.Stats.Commits - tu.lastCommits
 		tu.lastCommits = tu.core.Stats.Commits
+		wdelta := tu.core.Stats.WrongCommits - tu.lastWrong
+		tu.lastWrong = tu.core.Stats.WrongCommits
+		tu.m.progress += delta + wdelta
 		if tu.parMode || (tu.m.seqLoops && tu.m.inParallel) {
 			tu.parCommits += delta
 		}
@@ -111,6 +115,7 @@ func (tu *threadUnit) drainWB(cycle uint64) {
 			return
 		}
 		tu.m.img.WriteWord(s.addr, s.val)
+		tu.m.progress++ // drained stores count as forward progress
 		// Write-back drain: the buffered store lost its issuing PC.
 		du.Access(cycle, s.addr, mem.Store, mem.SrcDemand, -1).Release()
 	}
