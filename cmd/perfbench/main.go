@@ -50,10 +50,16 @@ type Entry struct {
 
 // Report is the BENCH_speed.json document.
 type Report struct {
-	Generated string  `json:"generated"`
-	GoVersion string  `json:"go_version"`
-	HostCPUs  int     `json:"host_cpus"`
-	Results   []Entry `json:"results"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	HostCPUs  int    `json:"host_cpus"`
+	// GoMaxProcs is the CPU budget the measurements ran under. Wall-clock
+	// numbers from different budgets are not comparable — the scaling
+	// scenarios exist precisely because parallel stepping changes ns/op
+	// with the core count — so -check refuses a baseline whose recorded
+	// budget differs.
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Results    []Entry `json:"results"`
 	// SuiteWallSeconds is the wall time of one full `experiments -run all`
 	// regeneration at scale 1 (only measured with -suite). The pre-overhaul
 	// simulator took 116.8s on the development host; the committed baseline
@@ -68,6 +74,8 @@ type scenario struct {
 	cfgName  config.Name
 	tus      int
 	interval uint64 // metrics sampling interval; 0 = no collector
+	workers  int    // sta.Machine.Workers; 0 = machine default
+	serial   bool   // force sequential stepping (DisableParallel)
 }
 
 func scenarios() []scenario {
@@ -89,6 +97,20 @@ func scenarios() []scenario {
 		scenario{name: "sim/mcf/wth-wp-wec/8tu+metrics", bench: "mcf",
 			cfgName: config.WTHWPWEC, tus: 8, interval: 10000},
 	)
+	// Scaling pairs: the same big machine stepped sequentially and with a
+	// fixed four-worker pool. The worker count is explicit (not the auto
+	// heuristic) so the parallel path engages — and allocs/op and
+	// sim-cycles/op stay deterministic — regardless of the host's core
+	// count; only the ns/op ratio between the pair members depends on
+	// GOMAXPROCS.
+	for _, tus := range []int{16, 32} {
+		out = append(out,
+			scenario{name: fmt.Sprintf("scale/mcf/wth-wp-wec/%dtu/serial", tus),
+				bench: "mcf", cfgName: config.WTHWPWEC, tus: tus, serial: true},
+			scenario{name: fmt.Sprintf("scale/mcf/wth-wp-wec/%dtu/par4", tus),
+				bench: "mcf", cfgName: config.WTHWPWEC, tus: tus, workers: 4},
+		)
+	}
 	return out
 }
 
@@ -106,10 +128,10 @@ func measure(sc scenario) (Entry, error) {
 	if err := config.Apply(sc.cfgName, &cfg); err != nil {
 		return Entry{}, err
 	}
-	return run(sc.name, cfg, prog, sc.interval)
+	return run(sc, cfg, prog)
 }
 
-func run(name string, cfg sta.Config, prog *isa.Program, interval uint64) (Entry, error) {
+func run(sc scenario, cfg sta.Config, prog *isa.Program) (Entry, error) {
 	var cycles uint64
 	var failure error
 	res := testing.Benchmark(func(b *testing.B) {
@@ -121,8 +143,10 @@ func run(name string, cfg sta.Config, prog *isa.Program, interval uint64) (Entry
 				failure = err
 				b.FailNow()
 			}
-			if interval > 0 {
-				m.Metrics = metrics.NewCollector(interval)
+			m.Workers = sc.workers
+			m.DisableParallel = sc.serial
+			if sc.interval > 0 {
+				m.Metrics = metrics.NewCollector(sc.interval)
 			}
 			r, err := m.Run()
 			if err != nil {
@@ -133,11 +157,11 @@ func run(name string, cfg sta.Config, prog *isa.Program, interval uint64) (Entry
 		}
 	})
 	if failure != nil {
-		return Entry{}, fmt.Errorf("%s: %w", name, failure)
+		return Entry{}, fmt.Errorf("%s: %w", sc.name, failure)
 	}
 	perOp := float64(cycles) / float64(res.N)
 	return Entry{
-		Name:            name,
+		Name:            sc.name,
 		NsPerOp:         float64(res.NsPerOp()),
 		AllocsPerOp:     res.AllocsPerOp(),
 		BytesPerOp:      res.AllocedBytesPerOp(),
@@ -169,7 +193,7 @@ func microbench() (Entry, error) {
 	}
 	cfg := config.Main(1)
 	cfg.MaxCycles = 100_000_000
-	return run("micro/cycle-loop/1tu", cfg, prog, 0)
+	return run(scenario{name: "micro/cycle-loop/1tu"}, cfg, prog)
 }
 
 func load(path string) (*Report, error) {
@@ -222,9 +246,10 @@ func main() {
 	flag.Parse()
 
 	rep := &Report{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		HostCPUs:  runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, sc := range scenarios() {
 		e, err := measure(sc)
@@ -273,6 +298,14 @@ func main() {
 		base, err := load(*check)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		if base.GoMaxProcs != 0 && base.GoMaxProcs != rep.GoMaxProcs {
+			fmt.Fprintf(os.Stderr,
+				"perfbench: baseline %s was measured with GOMAXPROCS=%d but this run used %d; "+
+					"wall-clock numbers are not comparable across CPU budgets — "+
+					"re-run with GOMAXPROCS=%d or regenerate the baseline\n",
+				*check, base.GoMaxProcs, rep.GoMaxProcs, base.GoMaxProcs)
 			os.Exit(1)
 		}
 		if bad := compare(base, rep, *tol, *strict); len(bad) > 0 {

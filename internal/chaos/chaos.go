@@ -157,6 +157,19 @@ func New(cfg Config, salt string) *Injector {
 	return in
 }
 
+// Fork derives a child injector whose streams are independent of the
+// parent's but still a pure function of (Config.Seed, parent salt, sub).
+// The parallel stepping path gives every thread unit its own forked
+// injector so core-step draws consume per-TU streams: which cycle a fault
+// fires on then cannot depend on how many worker goroutines interleave the
+// TU steps. A nil parent forks to nil.
+func (in *Injector) Fork(sub string) *Injector {
+	if in == nil {
+		return nil
+	}
+	return New(in.cfg, in.salt+"|"+sub)
+}
+
 // Hit draws one decision for the point. Nil receivers and zero-probability
 // points never fire.
 func (in *Injector) Hit(p Point) bool {

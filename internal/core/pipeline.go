@@ -136,6 +136,9 @@ func (c *Core) commit(cycle uint64) {
 			return
 		}
 		in := e.inst
+		if isCtl(in.Op) {
+			c.ctlInFlight--
+		}
 		// Architectural register writeback.
 		if in.HasDest() {
 			if in.Op.FPDest() {
@@ -257,6 +260,7 @@ func (c *Core) squashAll() {
 	c.Stats.SquashedInsts += uint64(c.robCount)
 	c.releaseInFlight()
 	c.robHead, c.robTail, c.robCount = 0, 0, 0
+	c.ctlInFlight = 0
 	for i := range c.renameInt {
 		c.renameInt[i] = -1
 	}
@@ -419,6 +423,9 @@ func (c *Core) recover(cycle uint64, agePos, nextPC int) {
 		idx := c.slotAt(p)
 		e := &c.rob[idx]
 		c.Stats.SquashedInsts++
+		if isCtl(e.inst.Op) {
+			c.ctlInFlight--
+		}
 		if e.req != nil {
 			e.req.Release()
 			e.req = nil
@@ -756,6 +763,9 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 	if c.metrics != nil {
 		c.observeLoadUse(idx, e)
 	}
+	if isCtl(in.Op) {
+		c.ctlInFlight++
+	}
 
 	// Markers with no execution latency complete immediately at dispatch+1.
 	switch in.Op {
@@ -831,11 +841,21 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 // load's latency. Called only when a metrics collector is attached.
 func (c *Core) observeLoadUse(idx int, e *robEntry) {
 	if e.use1 && !e.src1.ready && c.rob[e.src1.rob].inst.Op.IsLoad() {
-		c.metrics.ObserveLoadUse(uint64(c.posOf(idx) - c.posOf(e.src1.rob)))
+		c.obsLoadUse(uint64(c.posOf(idx) - c.posOf(e.src1.rob)))
 	}
 	if e.use2 && !e.src2.ready && c.rob[e.src2.rob].inst.Op.IsLoad() {
-		c.metrics.ObserveLoadUse(uint64(c.posOf(idx) - c.posOf(e.src2.rob)))
+		c.obsLoadUse(uint64(c.posOf(idx) - c.posOf(e.src2.rob)))
 	}
+}
+
+// obsLoadUse records one distance, buffering it when the parallel compute
+// phase has deferred observation (the histogram is shared across TUs).
+func (c *Core) obsLoadUse(dist uint64) {
+	if c.obsDefer {
+		c.defLoadUse = append(c.defLoadUse, dist)
+		return
+	}
+	c.metrics.ObserveLoadUse(dist)
 }
 
 // readOperand resolves a source register to a value or a producer slot.

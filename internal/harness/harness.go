@@ -33,6 +33,11 @@ type Runner struct {
 	Scale int
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
 	Workers int
+	// SimWorkers is each machine's intra-simulation goroutine budget
+	// (sta.Machine.Workers). 0 divides GOMAXPROCS across the concurrent
+	// cells, so a wide batch keeps machines sequential while a lone big
+	// machine gets the whole host; negative forces sequential stepping.
+	SimWorkers int
 	// Verbose, when non-nil, receives one progress line per completed
 	// simulation. Writes are serialized; any io.Writer is safe.
 	Verbose io.Writer
@@ -197,6 +202,24 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 	m, err := sta.New(cfg, p)
 	if err != nil {
 		return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
+	}
+	switch {
+	case r.SimWorkers > 0:
+		m.Workers = r.SimWorkers
+	case r.SimWorkers < 0:
+		m.DisableParallel = true
+	default:
+		// Split the host between concurrent cells; the machine's own
+		// heuristic further trims the share for small TU counts.
+		cells := r.Workers
+		if cells <= 0 {
+			cells = runtime.GOMAXPROCS(0)
+		}
+		if w := runtime.GOMAXPROCS(0) / cells; w > 1 {
+			m.Workers = w
+		} else {
+			m.DisableParallel = true
+		}
 	}
 	var col *metrics.Collector
 	if r.MetricsInterval > 0 {

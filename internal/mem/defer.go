@@ -1,0 +1,218 @@
+package mem
+
+import "repro/internal/attrib"
+
+// Deferred side-effect capture for parallel TU stepping.
+//
+// When sta steps thread units on worker goroutines, each TU's compute phase
+// may only mutate its own state. Everything an L1 port would normally push
+// into shared state — L2 fill requests, dirty writebacks, and observer
+// (metrics/attribution) events, all of which either mutate shared structures
+// or must interleave in TU order — is instead recorded into that TU's
+// private effect queue, tagged with the simulated cycle it occurred on. The
+// serial commit phase replays the queues in (cycle, TU-ID) order, so the L2
+// queue order, L2 LRU state, and every observer stream are bit-identical to
+// sequential stepping no matter how the goroutines interleaved.
+//
+// With capture disabled (the default, and always in sequential mode) every
+// effect takes its old direct path; the only added cost is one branch.
+
+// Effect kinds. The payload fields of defEffect are overloaded per kind.
+const (
+	efToL2 uint8 = iota // a=block, flag=isI
+	efWriteback         // a=block
+	efMemAccess         // pc, a=issued, b=done, flag=wrong (metrics)
+	efWECPromotion      // a=residency cycles (metrics)
+	efWrongIssue        // pc (attrib)
+	efDemandAccess      // pc, a=block, flag=miss (attrib)
+	efSpecTouch         // a=block (attrib)
+	efVictimHit         // a=block (attrib)
+	efPromote           // a=block (attrib)
+	efEvict             // a=addr, o1=cause, pc=causePC (attrib)
+	efLateFill          // o1=origin, pc (attrib)
+	efFill              // a=block, o1=origin, pc, st=structure (attrib)
+	efVictimCapture     // a=block (attrib)
+)
+
+// defEffect is one captured side effect. A tagged union keeps the capture
+// path allocation-free (the queue's backing array is reused run-long).
+type defEffect struct {
+	cycle uint64
+	a, b  uint64
+	pc    int
+	kind  uint8
+	o1    uint8
+	st    uint8
+	flag  bool
+}
+
+// tuDef is one thread unit's effect queue. Exactly one worker goroutine
+// appends to it during a compute phase; only the coordinator reads it during
+// the commit phase. head marks how far replay has consumed the queue, so a
+// multi-cycle window can drain it one cycle slice at a time.
+type tuDef struct {
+	active  bool
+	head    int
+	effects []defEffect
+}
+
+func (q *tuDef) push(e defEffect) { q.effects = append(q.effects, e) }
+
+// SetCompute switches effect capture for one TU's ports on or off. While on,
+// Access/FetchReady record cross-TU effects instead of applying them.
+func (h *Hierarchy) SetCompute(tu int, on bool) { h.def[tu].active = on }
+
+// Deferring reports whether tu's ports are currently capturing effects.
+func (h *Hierarchy) Deferring(tu int) bool { return h.def[tu].active }
+
+// BeginCycleTU resets one TU's per-cycle port state. The parallel stepping
+// window uses it between batched cycles, where the global BeginCycle (which
+// walks every TU) must not run.
+func (h *Hierarchy) BeginCycleTU(tu int) { h.dunits[tu].beginCycle() }
+
+// FlushDeferred replays tu's captured effects with cycle <= upTo against the
+// shared state, in capture order. The caller is responsible for invoking it
+// in TU-ID order (and, for multi-cycle windows, once per cycle slice) so the
+// global replay order matches sequential stepping.
+func (h *Hierarchy) FlushDeferred(tu int, upTo uint64) {
+	q := h.def[tu]
+	d := h.dunits[tu]
+	i := q.head
+	for ; i < len(q.effects); i++ {
+		e := &q.effects[i]
+		if e.cycle > upTo {
+			break
+		}
+		switch e.kind {
+		case efToL2:
+			h.l2Queue = append(h.l2Queue, l2Req{block: e.a, ready: e.cycle + 1, tu: tu, isI: e.flag})
+		case efWriteback:
+			h.Writebacks++
+			h.l2.Insert(e.a, 0, true)
+		case efMemAccess:
+			d.metrics.ObserveMemAccess(tu, e.pc, e.a, e.b, e.flag)
+		case efWECPromotion:
+			d.metrics.ObserveWECPromotion(e.a)
+		case efWrongIssue:
+			d.attrib.OnWrongIssue(e.pc)
+		case efDemandAccess:
+			d.attrib.OnDemandAccess(tu, e.pc, e.a, e.cycle, e.flag)
+		case efSpecTouch:
+			d.attrib.OnSpecTouch(tu, e.a, e.cycle)
+		case efVictimHit:
+			d.attrib.OnVictimHit(tu, e.a, e.cycle)
+		case efPromote:
+			d.attrib.OnPromote(tu, e.a)
+		case efEvict:
+			d.attrib.OnEvict(tu, e.a, attrib.Origin(e.o1), e.pc, e.cycle)
+		case efLateFill:
+			d.attrib.OnLateFill(attrib.Origin(e.o1), e.pc)
+		case efFill:
+			d.attrib.OnFill(tu, e.a, attrib.Origin(e.o1), e.pc, e.cycle, attrib.Structure(e.st))
+		case efVictimCapture:
+			d.attrib.OnVictimCapture(tu, e.a, e.cycle)
+		}
+	}
+	q.head = i
+	if q.head == len(q.effects) {
+		q.effects = q.effects[:0]
+		q.head = 0
+	}
+}
+
+// --- DUnit capture wrappers -------------------------------------------------
+//
+// Each wrapper takes the simulated cycle the effect belongs to and either
+// applies it directly (capture off) or records it. The nil checks on the
+// collectors mirror the original call sites, so a queue never accumulates
+// events no collector would observe.
+
+func (d *DUnit) q() *tuDef { return d.h.def[d.tu] }
+
+func (d *DUnit) obsMemAccess(cycle uint64, req *Request, at uint64) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efMemAccess, cycle: cycle, pc: req.PC, a: req.Issued, b: at, flag: req.Wrong()})
+		return
+	}
+	d.metrics.ObserveMemAccess(d.tu, req.PC, req.Issued, at, req.Wrong())
+}
+
+func (d *DUnit) obsWECPromotion(cycle, residency uint64) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efWECPromotion, cycle: cycle, a: residency})
+		return
+	}
+	d.metrics.ObserveWECPromotion(residency)
+}
+
+func (d *DUnit) obsWrongIssue(cycle uint64, pc int) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efWrongIssue, cycle: cycle, pc: pc})
+		return
+	}
+	d.attrib.OnWrongIssue(pc)
+}
+
+func (d *DUnit) obsDemandAccess(cycle uint64, pc int, block uint64, miss bool) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efDemandAccess, cycle: cycle, pc: pc, a: block, flag: miss})
+		return
+	}
+	d.attrib.OnDemandAccess(d.tu, pc, block, cycle, miss)
+}
+
+func (d *DUnit) obsSpecTouch(cycle uint64, block uint64) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efSpecTouch, cycle: cycle, a: block})
+		return
+	}
+	d.attrib.OnSpecTouch(d.tu, block, cycle)
+}
+
+func (d *DUnit) obsVictimHit(cycle uint64, block uint64) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efVictimHit, cycle: cycle, a: block})
+		return
+	}
+	d.attrib.OnVictimHit(d.tu, block, cycle)
+}
+
+func (d *DUnit) obsPromote(cycle uint64, block uint64) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efPromote, cycle: cycle, a: block})
+		return
+	}
+	d.attrib.OnPromote(d.tu, block)
+}
+
+func (d *DUnit) obsEvict(cycle uint64, addr uint64, cause attrib.Origin, causePC int) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efEvict, cycle: cycle, a: addr, o1: uint8(cause), pc: causePC})
+		return
+	}
+	d.attrib.OnEvict(d.tu, addr, cause, causePC, cycle)
+}
+
+func (d *DUnit) obsLateFill(cycle uint64, origin attrib.Origin, pc int) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efLateFill, cycle: cycle, o1: uint8(origin), pc: pc})
+		return
+	}
+	d.attrib.OnLateFill(origin, pc)
+}
+
+func (d *DUnit) obsFill(cycle uint64, block uint64, origin attrib.Origin, pc int, s attrib.Structure) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efFill, cycle: cycle, a: block, o1: uint8(origin), pc: pc, st: uint8(s)})
+		return
+	}
+	d.attrib.OnFill(d.tu, block, origin, pc, cycle, s)
+}
+
+func (d *DUnit) obsVictimCapture(cycle uint64, block uint64) {
+	if q := d.q(); q.active {
+		q.push(defEffect{kind: efVictimCapture, cycle: cycle, a: block})
+		return
+	}
+	d.attrib.OnVictimCapture(d.tu, block, cycle)
+}

@@ -18,6 +18,12 @@ type DUnit struct {
 	side *cache.Cache // nil when cfg.Side == SideNone
 	mshr dMSHR        // outstanding misses; waiters chain through Request.next
 
+	// pool and nextID are per-DUnit (not shared on the Hierarchy) so that
+	// parallel compute phases allocate requests without touching shared
+	// state. IDs are unique per port, which is all Request.ID promises.
+	pool   reqPool
+	nextID int64
+
 	portsUsed int
 
 	// metrics, when non-nil, observes access latencies and side-buffer
@@ -106,20 +112,20 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 	d.portsUsed++
 	d.Traffic++
 	block := d.l1.BlockAddr(addr)
-	req := d.h.pool.get()
-	req.ID = d.h.nextID
+	req := d.pool.get()
+	req.ID = d.nextID
 	req.Addr = addr
 	req.Kind = kind
 	req.Src = src
 	req.PC = pc
 	req.Issued = cycle
 	req.held = true
-	d.h.nextID++
+	d.nextID++
 
 	if src.Wrong() {
 		d.WrongAcc++
 		if d.attrib != nil {
-			d.attrib.OnWrongIssue(pc)
+			d.obsWrongIssue(cycle, pc)
 		}
 		return d.accessWrong(cycle, block, req)
 	}
@@ -128,9 +134,9 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 	flags, hit := d.l1.Access(addr, kind == Store)
 	if hit {
 		if d.attrib != nil {
-			d.attrib.OnDemandAccess(d.tu, pc, block, cycle, false)
+			d.obsDemandAccess(cycle, pc, block, false)
 			if flags&specFlags != 0 {
-				d.attrib.OnSpecTouch(d.tu, block, cycle)
+				d.obsSpecTouch(cycle, block)
 			}
 		}
 		d.notePrefetchProvenance(flags)
@@ -139,7 +145,7 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 		if d.cfg.NextLinePrefetch && flags&cache.FlagPrefetch != 0 {
 			d.issuePrefetch(cycle, d.l1.NextBlock(addr), pc)
 		}
-		d.complete(req, cycle+uint64(d.cfg.L1HitLat))
+		d.complete(cycle, req, cycle+uint64(d.cfg.L1HitLat))
 		return req
 	}
 
@@ -152,16 +158,16 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 				d.WrongUseful++
 			}
 			if d.attrib != nil {
-				d.attrib.OnDemandAccess(d.tu, pc, block, cycle, false)
+				d.obsDemandAccess(cycle, pc, block, false)
 				if sflags&specFlags != 0 {
-					d.attrib.OnSpecTouch(d.tu, block, cycle)
+					d.obsSpecTouch(cycle, block)
 				} else {
-					d.attrib.OnVictimHit(d.tu, block, cycle)
+					d.obsVictimHit(cycle, block)
 				}
 			}
 			if d.metrics != nil {
 				if at, ok := d.sideInsertAt[block]; ok {
-					d.metrics.ObserveWECPromotion(cycle - at)
+					d.obsWECPromotion(cycle, cycle-at)
 					delete(d.sideInsertAt, block)
 				}
 			}
@@ -170,7 +176,7 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 			// keeping a victim, matching a conventional prefetch buffer).
 			d.side.Remove(block)
 			if d.attrib != nil {
-				d.attrib.OnPromote(d.tu, block)
+				d.obsPromote(cycle, block)
 			}
 			victim := d.l1.Insert(block, 0, kind == Store)
 			if victim.Valid {
@@ -179,10 +185,10 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 						attrib.OriginVictim, -1, attrib.OriginDemand, -1)
 				} else {
 					if victim.Dirty {
-						d.h.writeback(victim.Addr)
+						d.h.writeback(d.tu, cycle, victim.Addr)
 					}
 					if d.attrib != nil {
-						d.attrib.OnEvict(d.tu, victim.Addr, attrib.OriginDemand, -1, cycle)
+						d.obsEvict(cycle, victim.Addr, attrib.OriginDemand, -1)
 					}
 				}
 			}
@@ -194,7 +200,7 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 			} else if d.cfg.NextLinePrefetch && sflags&cache.FlagPrefetch != 0 {
 				d.issuePrefetch(cycle, d.l1.NextBlock(addr), pc)
 			}
-			d.complete(req, cycle+uint64(d.cfg.L1HitLat))
+			d.complete(cycle, req, cycle+uint64(d.cfg.L1HitLat))
 			return req
 		}
 	}
@@ -202,7 +208,7 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 	// Miss in both structures: demand fill from below.
 	d.Misses++
 	if d.attrib != nil {
-		d.attrib.OnDemandAccess(d.tu, pc, block, cycle, true)
+		d.obsDemandAccess(cycle, pc, block, true)
 	}
 	if d.cfg.NextLinePrefetch {
 		// Tagged prefetch initiates on every demand miss.
@@ -217,11 +223,11 @@ func (d *DUnit) Access(cycle uint64, addr uint64, kind AccessKind, src Source, p
 // fills pollute, as in wp/wth without a WEC).
 func (d *DUnit) accessWrong(cycle uint64, block uint64, req *Request) *Request {
 	if d.l1.Touch(block) {
-		d.complete(req, cycle+uint64(d.cfg.L1HitLat))
+		d.complete(cycle, req, cycle+uint64(d.cfg.L1HitLat))
 		return req
 	}
 	if d.side != nil && d.side.Touch(block) {
-		d.complete(req, cycle+uint64(d.cfg.L1HitLat))
+		d.complete(cycle, req, cycle+uint64(d.cfg.L1HitLat))
 		return req
 	}
 	d.miss(cycle, block, req)
@@ -234,7 +240,7 @@ func (d *DUnit) accessWrong(cycle uint64, block uint64, req *Request) *Request {
 func (d *DUnit) miss(cycle uint64, block uint64, req *Request) {
 	allocated, ok := d.mshr.add(block, req)
 	if !ok {
-		d.complete(req, cycle+uint64(d.cfg.MemLat))
+		d.complete(cycle, req, cycle+uint64(d.cfg.MemLat))
 		return
 	}
 	if allocated {
@@ -254,18 +260,18 @@ func (d *DUnit) issuePrefetch(cycle uint64, block uint64, pc int) {
 	if d.mshr.full() {
 		return
 	}
-	req := d.h.pool.get()
-	req.ID = d.h.nextID
+	req := d.pool.get()
+	req.ID = d.nextID
 	req.Addr = block
 	req.Kind = Prefetch
 	req.Src = SrcDemand
 	req.PC = pc
 	req.Issued = cycle
-	d.h.nextID++
+	d.nextID++
 	d.PrefIssued++
 	allocated, ok := d.mshr.add(block, req)
 	if !ok {
-		d.h.pool.put(req)
+		d.pool.put(req)
 		return
 	}
 	if allocated {
@@ -320,10 +326,10 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 				store = true
 			}
 		}
-		d.complete(req, cycle)
+		d.complete(cycle, req, cycle)
 		req.pending = false
 		if !req.held {
-			d.h.pool.put(req)
+			d.pool.put(req)
 		}
 		req = next
 	}
@@ -336,9 +342,9 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 				// A speculative request opened this entry and a correct
 				// demand merged into it: right block, partially hidden
 				// latency ("late" prefetch).
-				d.attrib.OnLateFill(allocOrigin, allocPC)
+				d.obsLateFill(cycle, allocOrigin, allocPC)
 			}
-			d.attrib.OnFill(d.tu, block, attrib.OriginDemand, demandPC, cycle, attrib.StructL1)
+			d.obsFill(cycle, block, attrib.OriginDemand, demandPC, attrib.StructL1)
 		}
 		victim := d.l1.Insert(block, 0, store)
 		if victim.Valid {
@@ -347,10 +353,10 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 					attrib.OriginVictim, -1, attrib.OriginDemand, -1)
 			} else {
 				if victim.Dirty {
-					d.h.writeback(victim.Addr)
+					d.h.writeback(d.tu, cycle, victim.Addr)
 				}
 				if d.attrib != nil {
-					d.attrib.OnEvict(d.tu, victim.Addr, attrib.OriginDemand, -1, cycle)
+					d.obsEvict(cycle, victim.Addr, attrib.OriginDemand, -1)
 				}
 			}
 		}
@@ -387,7 +393,7 @@ func (d *DUnit) fill(block uint64, cycle uint64) {
 // origin/pc attribute the speculative fill that displaces the victim.
 func (d *DUnit) fillL1Polluting(cycle uint64, block uint64, flags uint8, origin attrib.Origin, pc int) {
 	if d.attrib != nil {
-		d.attrib.OnFill(d.tu, block, origin, pc, cycle, attrib.StructL1)
+		d.obsFill(cycle, block, origin, pc, attrib.StructL1)
 	}
 	victim := d.l1.Insert(block, flags, false)
 	if victim.Valid {
@@ -396,10 +402,10 @@ func (d *DUnit) fillL1Polluting(cycle uint64, block uint64, flags uint8, origin 
 				attrib.OriginVictim, -1, origin, pc)
 		} else {
 			if victim.Dirty {
-				d.h.writeback(victim.Addr)
+				d.h.writeback(d.tu, cycle, victim.Addr)
 			}
 			if d.attrib != nil {
-				d.attrib.OnEvict(d.tu, victim.Addr, origin, pc, cycle)
+				d.obsEvict(cycle, victim.Addr, origin, pc)
 			}
 		}
 	}
@@ -427,7 +433,7 @@ func (d *DUnit) sideInsert(cycle uint64, block uint64, flags uint8, dirty bool,
 	d.SideInserts++
 	victim := d.side.Insert(block, flags, dirty)
 	if victim.Valid && victim.Dirty {
-		d.h.writeback(victim.Addr)
+		d.h.writeback(d.tu, cycle, victim.Addr)
 	}
 	if d.metrics != nil {
 		d.sideInsertAt[block] = cycle
@@ -437,12 +443,12 @@ func (d *DUnit) sideInsert(cycle uint64, block uint64, flags uint8, dirty bool,
 	}
 	if d.attrib != nil {
 		if victim.Valid {
-			d.attrib.OnEvict(d.tu, victim.Addr, cause, causePC, cycle)
+			d.obsEvict(cycle, victim.Addr, cause, causePC)
 		}
 		if origin == attrib.OriginVictim {
-			d.attrib.OnVictimCapture(d.tu, block, cycle)
+			d.obsVictimCapture(cycle, block)
 		} else {
-			d.attrib.OnFill(d.tu, block, origin, pc, cycle, attrib.StructSide)
+			d.obsFill(cycle, block, origin, pc, attrib.StructSide)
 		}
 	}
 }
@@ -453,11 +459,14 @@ func (d *DUnit) notePrefetchProvenance(flags uint8) {
 	}
 }
 
-func (d *DUnit) complete(req *Request, at uint64) {
+// complete finishes a request. cycle is the simulated cycle the completion
+// is decided on (the access cycle for hits, the fill cycle for misses) and
+// tags the deferred metrics event; at is the value-availability cycle.
+func (d *DUnit) complete(cycle uint64, req *Request, at uint64) {
 	req.Done = true
 	req.DoneCycle = at
 	if d.metrics != nil && req.Kind != Prefetch {
-		d.metrics.ObserveMemAccess(d.tu, req.PC, req.Issued, at, req.Wrong())
+		d.obsMemAccess(cycle, req, at)
 	}
 }
 

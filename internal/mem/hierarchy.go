@@ -25,9 +25,8 @@ type Hierarchy struct {
 	// The backing array is reused once the queue drains.
 	l2Queue []l2Req
 	l2qHead int
-	fills   []fill // binary min-heap ordered by at
-	pool    reqPool
-	nextID  int64
+	fills   []fill   // binary min-heap ordered by at
+	def     []*tuDef // per-TU deferred-effect queues (parallel stepping)
 	cycle   uint64
 	chaos   *chaos.Injector
 
@@ -122,6 +121,7 @@ func NewHierarchy(nTU int, cfg Config) (*Hierarchy, error) {
 			return nil, err
 		}
 		h.iunits = append(h.iunits, iu)
+		h.def = append(h.def, &tuDef{})
 	}
 	return h, nil
 }
@@ -164,14 +164,24 @@ func (h *Hierarchy) BeginCycle(cycle uint64) {
 	}
 }
 
-// toL2 enqueues a fill request for an L1 block.
+// toL2 enqueues a fill request for an L1 block. During a parallel compute
+// phase the request is captured into the TU's effect queue instead, and
+// joins the shared FIFO at commit time in TU-ID order.
 func (h *Hierarchy) toL2(cycle uint64, tu int, isI bool, block uint64) {
+	if q := h.def[tu]; q.active {
+		q.push(defEffect{kind: efToL2, cycle: cycle, a: block, flag: isI})
+		return
+	}
 	h.l2Queue = append(h.l2Queue, l2Req{block: block, ready: cycle + 1, tu: tu, isI: isI})
 }
 
 // writeback models a dirty eviction below the L1s. Writebacks consume L2
 // bandwidth statistics but, as in sim-outorder, do not delay demand fills.
-func (h *Hierarchy) writeback(block uint64) {
+func (h *Hierarchy) writeback(tu int, cycle uint64, block uint64) {
+	if q := h.def[tu]; q.active {
+		q.push(defEffect{kind: efWriteback, cycle: cycle, a: block})
+		return
+	}
 	h.Writebacks++
 	h.l2.Insert(block, 0, true)
 }
@@ -317,5 +327,8 @@ func (h *Hierarchy) Reset() {
 	}
 	h.l2Queue, h.l2qHead = nil, 0
 	h.fills = nil
+	for _, q := range h.def {
+		*q = tuDef{}
+	}
 	h.L2Accesses, h.L2Misses, h.DRAMFills, h.Writebacks, h.UpdateBus = 0, 0, 0, 0, 0
 }

@@ -113,6 +113,26 @@ func (c *Collector) MaybeSample(cycle uint64) {
 	c.Sampler.MaybeSample(cycle)
 }
 
+// FastForward replays every sample boundary in (from, to] in bulk; the
+// event-skip fast path calls it instead of per-cycle MaybeSample. Rows are
+// bit-identical because no counter moves while the machine is idle.
+func (c *Collector) FastForward(from, to uint64) {
+	if c == nil || c.Sampler == nil {
+		return
+	}
+	c.Sampler.FastForward(from, to)
+}
+
+// NextSample returns the cycle of the next interval-series row, or 0 when
+// no sampler is attached. The parallel stepping batcher keeps multi-cycle
+// windows short of this boundary.
+func (c *Collector) NextSample() uint64 {
+	if c == nil || c.Sampler == nil {
+		return 0
+	}
+	return c.Sampler.NextBoundary()
+}
+
 // Finish seals the run at its final cycle: the sampler takes a last
 // partial sample and the timeline closes dangling spans.
 func (c *Collector) Finish(cycle uint64) {

@@ -69,6 +69,32 @@ func (s *Sampler) MaybeSample(cycle uint64) {
 	s.next = cycle + s.Interval
 }
 
+// FastForward replays every sample boundary in (from, to] in bulk, exactly
+// as if MaybeSample had been called once per cycle. The event-skip fast
+// path uses it to jump over idle spans in O(samples) instead of O(cycles):
+// because no probe changes while the machine is idle, sampling at the same
+// boundary cycles yields bit-identical rows.
+func (s *Sampler) FastForward(from, to uint64) {
+	if to <= from || s.next > to {
+		return
+	}
+	c := s.next
+	if c <= from {
+		// Overdue boundary: the per-cycle loop would first fire at from+1.
+		c = from + 1
+	}
+	for c <= to {
+		s.sample(c)
+		s.next = c + s.Interval
+		c = s.next
+	}
+}
+
+// NextBoundary returns the cycle of the next sample row. The parallel
+// stepping batcher refuses to open a multi-cycle window across a boundary,
+// so rows always sample fully committed counter state.
+func (s *Sampler) NextBoundary() uint64 { return s.next }
+
 // Finish appends a final partial row covering the tail of the run.
 func (s *Sampler) Finish(cycle uint64) {
 	if cycle > s.lastCycle {

@@ -143,6 +143,19 @@ type Machine struct {
 	// check per cycle and leaves results bit-identical.
 	Chaos *chaos.Injector
 
+	// Workers caps the goroutines stepping thread units in parallel.
+	// 0 picks automatically (one worker per four TUs, bounded by
+	// GOMAXPROCS); 1 forces the plain sequential loop. Results are
+	// bit-identical at every setting (the parallel-equivalence test
+	// asserts it); the knob trades rendezvous overhead against core
+	// throughput.
+	Workers int
+
+	// DisableParallel forces the sequential cycle loop regardless of
+	// Workers, mirroring DisableSkip: results are identical either way,
+	// the knob exists for the equivalence tests and for debugging.
+	DisableParallel bool
+
 	cfg  Config
 	prog *isa.Program
 	img  *memimg.Image
@@ -168,6 +181,24 @@ type Machine struct {
 	aborts       uint64
 	wrongThreads uint64
 	mbOverflows  uint64
+
+	// Parallel-stepping state (see parallel.go). computing is true during
+	// a compute phase, when thread units defer cross-TU effects;
+	// windowBase anchors a window's per-cycle effect slots. wdLast /
+	// wdLastCycle are the forward-progress watchdog's bookkeeping, held on
+	// the machine so multi-cycle windows observe progress at the same
+	// cycles the sequential loop does.
+	par         *parRunner
+	computing   bool
+	windowBase  uint64
+	windowOK    bool
+	wdLast      uint64
+	wdLastCycle uint64
+
+	// Engagement counters: how many parallel segments and two-cycle
+	// windows ran. Tests assert the parallel path is actually exercised.
+	statSegments uint64
+	statWindows  uint64
 }
 
 // New builds a machine for the given program.
@@ -239,15 +270,22 @@ func (m *Machine) RunContext(ctx context.Context) (res *Result, err error) {
 	if wd == 0 {
 		wd = DefaultWatchdogCycles
 	}
+	nw := m.resolveWorkers()
+	if nw > 1 {
+		m.startPar(nw)
+		defer m.stopPar()
+		m.windowOK = m.cfg.TransferPerValue >= 2 &&
+			m.cfg.Mem.L2HitLat >= 2 &&
+			m.cfg.Mem.MemLat >= m.cfg.Mem.L2HitLat+2
+	}
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
 	}
-	lastProgress, lastProgressCycle := m.progress, m.cycle
+	m.wdLast, m.wdLastCycle = m.progress, m.cycle
 	for iter := uint64(0); !m.halted; iter++ {
-		if m.progress != lastProgress {
-			lastProgress, lastProgressCycle = m.progress, m.cycle
-		} else if m.cycle-lastProgressCycle >= wd {
+		m.observeProgress()
+		if m.cycle-m.wdLastCycle >= wd {
 			return nil, m.stallError(simerr.Deadlock,
 				fmt.Errorf("no instruction retired for %d cycles (watchdog window)", wd))
 		}
@@ -265,9 +303,13 @@ func (m *Machine) RunContext(ctx context.Context) (res *Result, err error) {
 			default:
 			}
 		}
-		m.step()
+		if nw > 1 {
+			m.stepPar(m.wdLastCycle + wd)
+		} else {
+			m.step()
+		}
 		if !m.halted && !m.DisableSkip {
-			m.skipIdle(lastProgressCycle + wd)
+			m.skipIdle(m.wdLastCycle + wd)
 		}
 	}
 	// Drain: let outstanding wrong threads disappear with the machine; the
@@ -291,8 +333,13 @@ func (m *Machine) attachChaos() {
 	if m.Chaos == nil {
 		return
 	}
+	// Each core draws from its own forked stream, keyed by TU id, so a
+	// core's injection sequence depends only on its own step history —
+	// never on how TUs interleave across worker goroutines. Machine- and
+	// hierarchy-level points stay on the root injector; both fire only
+	// from the coordinator.
 	for _, tu := range m.tus {
-		tu.core.SetChaos(m.Chaos)
+		tu.core.SetChaos(m.Chaos.Fork(fmt.Sprintf("tu%d", tu.id)))
 	}
 	m.hier.SetChaos(m.Chaos)
 }
@@ -313,6 +360,13 @@ func (m *Machine) step() {
 		m.tryStartPending()
 		m.hier.Tick(m.cycle)
 	}
+	m.endCycle()
+}
+
+// endCycle advances the clock: the parallel-cycle counter, the cycle
+// itself, and the metrics sampler. Shared by the sequential step, the
+// parallel step, and window replay so all three account identically.
+func (m *Machine) endCycle() {
 	if m.inParallel {
 		m.parCycles++
 	}
@@ -322,11 +376,22 @@ func (m *Machine) step() {
 	}
 }
 
+// observeProgress records the cycle at which forward progress was last
+// seen. The sequential loop calls it once per iteration; window replay
+// calls it per replayed cycle, keeping the watchdog's observation points
+// identical across stepping modes.
+func (m *Machine) observeProgress() {
+	if m.progress != m.wdLast {
+		m.wdLast, m.wdLastCycle = m.progress, m.cycle
+	}
+}
+
 // skipIdle fast-forwards the clock over cycles that are provably no-ops:
 // every component reports the earliest future cycle at which stepping it
-// could change any state, and the span up to the minimum is replayed as
-// empty cycles — advancing the clock, the parallel-cycle counter, and the
-// metrics sampler exactly as stepping would, but touching nothing else.
+// could change any state, and the span up to the minimum is skipped in one
+// jump — the clock and the parallel-cycle counter advance by arithmetic,
+// and the metrics sampler replays any crossed sample boundaries in bulk
+// (Collector.FastForward), all bit-identical to stepping the empty cycles.
 // Called right after step, so m.cycle-1 is the cycle just stepped.
 // wdDeadline is the cycle the forward-progress watchdog would fire at; the
 // skip stops there so the deadlock diagnostic trips at the same cycle it
@@ -344,17 +409,16 @@ func (m *Machine) skipIdle(wdDeadline uint64) {
 		// cycle it would without skipping.
 		wake = m.cfg.MaxCycles
 	}
-	if wake < m.cycle {
+	if wake <= m.cycle {
 		return
 	}
-	for m.cycle < wake {
-		if m.inParallel {
-			m.parCycles++
-		}
-		m.cycle++
-		if m.Metrics != nil {
-			m.Metrics.MaybeSample(m.cycle)
-		}
+	from := m.cycle
+	if m.inParallel {
+		m.parCycles += wake - from
+	}
+	m.cycle = wake
+	if m.Metrics != nil {
+		m.Metrics.FastForward(from, wake)
 	}
 }
 

@@ -1,0 +1,349 @@
+package sta
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/chaos"
+)
+
+// Deterministic intra-machine parallelism.
+//
+// Stepping a cycle is split into a compute phase and a commit phase. The
+// compute phase steps thread units on worker goroutines; a TU's compute may
+// mutate only its own state (core, L1 ports, memory buffer), so every
+// cross-TU effect is captured into per-TU queues (mem.Hierarchy's deferred
+// effects, the core's deferred observations, and the pendChain/pendProgress
+// fields below). The serial commit phase replays those queues in TU-ID
+// order, which is exactly the order sequential stepping produces them in —
+// so the L2 queue, cache LRU state, metrics streams, and attribution
+// streams are bit-identical no matter how the goroutines interleave.
+//
+// Not every TU is compute-safe every cycle. classify sorts them:
+//
+//   - idle TUs: stepping is a no-op (detach cleared parMode, so updateChain
+//     returns immediately).
+//   - running parMode TUs with no control op in flight (core.CtlQuiet):
+//     commits are plain ALU/LD/ST traffic; parMode stores only write the
+//     TU's own memory buffer. The superthreaded control ops (BEGIN, FORK,
+//     TSA, TSAGD, THEND, ABORT, HALT, TST) — the only commits with cross-TU
+//     reach — need at least two cycles from dispatch to commit, so CtlQuiet
+//     at the top of a cycle rules them out for that cycle and the next.
+//   - wb-wait TUs with a live predecessor: a pure own-state poll.
+//
+// Everything else (sequential-mode execution with write-through stores and
+// update coherence, write-back drains, any TU with a control op in flight)
+// is serial-class and is stepped inline, alone, between parallel segments.
+// Segments are maximal runs of safe TUs, so the global effect order is the
+// TU order — the sequential order.
+//
+// When every TU is safe and the memory system, sampler, watchdog, and
+// pending-fork state provably cannot interact for two cycles, a two-cycle
+// window runs both compute steps per TU with a single barrier, then replays
+// the commit one cycle slice at a time. The TSAG chain flag needs
+// TransferPerValue >= 2 to stay invisible across the unsynchronized second
+// cycle; fills must take at least two cycles (L2HitLat >= 2, MemLat >=
+// L2HitLat+2) for the same reason. Windows are disabled under chaos
+// injection so every probability point draws once per cycle, exactly as the
+// sequential loop does.
+
+// TU classification for one cycle.
+const (
+	clSafe   uint8 = iota // compute phase may run on a worker
+	clSerial              // must step alone, in TU order, on the coordinator
+)
+
+// pendFlag is a TSAG chain-completion flag captured during compute: the
+// successor's hasPredFlag/predChainAt write, tagged with the cycle it
+// happened on. Applying it at end of cycle is exact because the flag is
+// inert until predChainAt (at least one cycle away).
+type pendFlag struct {
+	c, at uint64
+}
+
+type parJob struct {
+	lo, hi int
+	cycle  uint64
+	ncyc   int
+}
+
+type parPanic struct {
+	set bool
+	tu  int
+	val any
+}
+
+// parRunner owns the worker pool: n-1 spinning goroutines plus the
+// coordinator, rendezvousing on a generation counter. All job fields are
+// published before the gen increment and read after observing it, so the
+// atomics carry the happens-before edges.
+type parRunner struct {
+	m      *Machine
+	n      int
+	class  []uint8
+	job    parJob
+	gen    atomic.Uint32
+	busy   atomic.Int32
+	quit   atomic.Bool
+	panics []parPanic
+}
+
+func (m *Machine) startPar(n int) {
+	m.par = &parRunner{
+		m:      m,
+		n:      n,
+		class:  make([]uint8, len(m.tus)),
+		panics: make([]parPanic, n),
+	}
+	for w := 1; w < n; w++ {
+		go m.par.workerLoop(w)
+	}
+}
+
+func (m *Machine) stopPar() {
+	if m.par != nil {
+		m.par.quit.Store(true)
+		m.par = nil
+	}
+}
+
+// resolveWorkers picks the worker count for this run. 0 is automatic:
+// one worker per four TUs, capped by GOMAXPROCS, so small machines and
+// starved hosts fall back to the plain sequential loop. Anything below two
+// means sequential. Tracing is incompatible (events would interleave) and
+// a zero TransferPerValue would make chain flags visible in the cycle they
+// are set, defeating end-of-cycle replay.
+func (m *Machine) resolveWorkers() int {
+	if m.DisableParallel || m.Trace != nil || m.seqLoops ||
+		m.cfg.NumTUs < 2 || m.cfg.TransferPerValue < 1 {
+		return 1
+	}
+	w := m.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if lim := m.cfg.NumTUs / 4; w > lim {
+			w = lim
+		}
+	}
+	if w < 2 {
+		return 1
+	}
+	if w > m.cfg.NumTUs {
+		w = m.cfg.NumTUs
+	}
+	return w
+}
+
+func (p *parRunner) workerLoop(w int) {
+	seen := uint32(0)
+	for {
+		for p.gen.Load() == seen {
+			if p.quit.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+		seen = p.gen.Load()
+		p.runShard(w)
+		p.busy.Add(-1)
+	}
+}
+
+// runShard steps this worker's TUs (lo+w, lo+w+n, ...) for the job's cycle
+// span. A panic is captured with the TU it struck so the coordinator can
+// surface the one sequential stepping would have hit first.
+func (p *parRunner) runShard(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics[w].set = true
+			p.panics[w].val = r
+		}
+	}()
+	job := p.job
+	m := p.m
+	for t := job.lo + w; t < job.hi; t += p.n {
+		p.panics[w].tu = t
+		for k := 0; k < job.ncyc; k++ {
+			if k > 0 {
+				m.hier.BeginCycleTU(t)
+			}
+			m.tus[t].step(job.cycle + uint64(k))
+		}
+	}
+}
+
+// classify buckets every TU for this cycle and reports whether all are safe.
+func (m *Machine) classify() bool {
+	allSafe := true
+	for i, tu := range m.tus {
+		c := clSafe
+		switch tu.state {
+		case tuRun:
+			if !tu.parMode || !tu.core.CtlQuiet() {
+				c = clSerial
+			}
+		case tuWBWait:
+			if tu.pred < 0 {
+				c = clSerial // transitions to drain this cycle
+			}
+		case tuWBDrain:
+			c = clSerial
+		}
+		if c == clSerial {
+			allSafe = false
+		}
+		m.par.class[i] = c
+	}
+	return allSafe
+}
+
+// runSegment computes TUs [lo,hi) for ncyc cycles on the worker pool, with
+// cross-TU effect capture on. On return, capture is off and any worker
+// panic has been re-raised (lowest TU first, matching sequential order).
+func (m *Machine) runSegment(lo, hi int, cycle uint64, ncyc int) {
+	m.statSegments++
+	p := m.par
+	for t := lo; t < hi; t++ {
+		m.hier.SetCompute(t, true)
+		m.tus[t].core.SetObsDefer(true)
+	}
+	m.computing = true
+	m.windowBase = cycle
+	for i := range p.panics {
+		p.panics[i] = parPanic{}
+	}
+	p.job = parJob{lo: lo, hi: hi, cycle: cycle, ncyc: ncyc}
+	p.busy.Store(int32(p.n - 1))
+	p.gen.Add(1)
+	p.runShard(0)
+	for p.busy.Load() != 0 {
+		runtime.Gosched()
+	}
+	m.computing = false
+	for t := lo; t < hi; t++ {
+		m.hier.SetCompute(t, false)
+		m.tus[t].core.SetObsDefer(false)
+	}
+	first := -1
+	var val any
+	for w := range p.panics {
+		if p.panics[w].set && (first < 0 || p.panics[w].tu < first) {
+			first, val = p.panics[w].tu, p.panics[w].val
+		}
+	}
+	if first >= 0 {
+		panic(val)
+	}
+}
+
+// flushTU replays one TU's captured cross-TU effects for cycle wc (slice k
+// of the window): forward progress, TSAG chain flags, and the memory
+// hierarchy's effect queue. Callers invoke it in TU-ID order.
+func (m *Machine) flushTU(t int, wc uint64, k int) {
+	tu := m.tus[t]
+	m.progress += tu.pendProgress[k]
+	tu.pendProgress[k] = 0
+	for tu.chainHead < len(tu.pendChain) && tu.pendChain[tu.chainHead].c <= wc {
+		pf := tu.pendChain[tu.chainHead]
+		tu.chainHead++
+		if tu.succ >= 0 {
+			s := m.tus[tu.succ]
+			s.hasPredFlag = true
+			s.predChainAt = pf.at
+		}
+	}
+	if tu.chainHead == len(tu.pendChain) {
+		tu.pendChain = tu.pendChain[:0]
+		tu.chainHead = 0
+	}
+	m.hier.FlushDeferred(t, wc)
+}
+
+// stepPar advances the machine one cycle (or a two-cycle window) using the
+// worker pool. wdDeadline is the cycle the forward-progress watchdog would
+// fire at; windows never extend past it, so the deadlock diagnostic trips
+// at the same cycle as sequential stepping.
+func (m *Machine) stepPar(wdDeadline uint64) {
+	if m.Chaos != nil {
+		m.Chaos.Panic(chaos.PointMachineStep)
+		if m.Chaos.Hit(chaos.PointLivelock) {
+			m.livelocked = true
+		}
+	}
+	if m.livelocked {
+		m.endCycle()
+		return
+	}
+	m.hier.BeginCycle(m.cycle)
+	allSafe := m.classify()
+	if allSafe && m.windowOK && m.Chaos == nil && m.pending == nil &&
+		m.cycle+2 <= wdDeadline && m.cycle+2 <= m.cfg.MaxCycles &&
+		m.cycle > 0 && m.hier.NextWake(m.cycle-1) > m.cycle {
+		ns := m.Metrics.NextSample()
+		if ns == 0 || ns != m.cycle+1 {
+			m.stepWindow()
+			return
+		}
+	}
+	n := len(m.tus)
+	i := 0
+	for i < n {
+		if m.par.class[i] == clSerial {
+			m.tus[i].step(m.cycle)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && m.par.class[j] != clSerial {
+			j++
+		}
+		if j-i == 1 {
+			// A lone safe TU needs no capture: stepping it inline produces
+			// its effects directly, already in TU order.
+			m.tus[i].step(m.cycle)
+		} else {
+			m.runSegment(i, j, m.cycle, 1)
+			for t := i; t < j; t++ {
+				m.flushTU(t, m.cycle, 0)
+				m.tus[t].core.FlushObservations()
+			}
+		}
+		i = j
+	}
+	m.tryStartPending()
+	m.hier.Tick(m.cycle)
+	m.endCycle()
+}
+
+// stepWindow runs a two-cycle window: one rendezvous computes both cycles
+// for every TU, then the commit replays each cycle slice — deferred
+// effects, forward progress, the shared-level Tick, the cycle counters, and
+// the watchdog observation — exactly as two sequential iterations would.
+func (m *Machine) stepWindow() {
+	m.statWindows++
+	c := m.cycle
+	m.runSegment(0, len(m.tus), c, 2)
+	for k := 0; k < 2; k++ {
+		wc := c + uint64(k)
+		for t := range m.tus {
+			m.flushTU(t, wc, k)
+		}
+		m.hier.Tick(wc)
+		m.endCycle()
+		if k == 0 {
+			m.observeProgress()
+		}
+	}
+	for _, tu := range m.tus {
+		tu.core.FlushObservations()
+	}
+}
+
+// assertSerial guards the cross-TU mutation paths: none may run during a
+// parallel compute phase. A failure here means a classification bug, not a
+// user error — the panic surfaces through the usual simerr supervision.
+func (m *Machine) assertSerial(what string) {
+	if m.computing {
+		panic("sta: " + what + " during parallel compute phase (classification bug)")
+	}
+}

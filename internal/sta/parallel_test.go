@@ -1,0 +1,193 @@
+package sta
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/attrib"
+	"repro/internal/chaos"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/simerr"
+	"repro/internal/workload"
+)
+
+// parMode describes one stepping mode of the equivalence matrix.
+type parModeSpec struct {
+	name    string
+	workers int
+	disable bool
+}
+
+func parModes() []parModeSpec {
+	return []parModeSpec{
+		{name: "seq", disable: true},
+		{name: "par1", workers: 1},
+		{name: "par2", workers: 2},
+		{name: "par4", workers: 4},
+	}
+}
+
+// parRunOut is one run's comparable output: the result, the metrics and
+// attribution JSON exports (nil when not attached), and the engagement
+// counters of the parallel stepper.
+type parRunOut struct {
+	res               *Result
+	metJS             []byte
+	attJS             []byte
+	windows, segments uint64
+}
+
+// runParMode runs prog in one stepping mode of the equivalence matrix.
+func runParMode(t testing.TB, cfg Config, prog *isa.Program, mode parModeSpec, skip bool, observe bool) parRunOut {
+	t.Helper()
+	m, err := New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Workers = mode.workers
+	m.DisableParallel = mode.disable
+	m.DisableSkip = !skip
+	var col *metrics.Collector
+	var ac *attrib.Collector
+	if observe {
+		col = metrics.NewCollector(500)
+		m.Metrics = col
+		ac = attrib.NewCollector()
+		m.Attrib = ac
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", mode.name, err)
+	}
+	out := parRunOut{res: r, windows: m.statWindows, segments: m.statSegments}
+	if col != nil {
+		var buf bytes.Buffer
+		if err := col.WriteJSON(&buf, r.Stats.Cycles); err != nil {
+			t.Fatal(err)
+		}
+		out.metJS = buf.Bytes()
+		var abuf bytes.Buffer
+		if err := ac.Report(r.Stats.Cycles).WriteJSON(&abuf); err != nil {
+			t.Fatal(err)
+		}
+		out.attJS = abuf.Bytes()
+	}
+	return out
+}
+
+// TestParallelEquivalenceMatrix is the correctness net for deterministic
+// intra-machine parallelism: for every figure benchmark, a machine stepped
+// with worker goroutines (1, 2, or 4) must produce bit-identical results —
+// stats, memory image, architectural registers, metrics JSON, attribution
+// JSON — to the plain sequential loop, with and without event-skip, with
+// and without observability attached.
+func TestParallelEquivalenceMatrix(t *testing.T) {
+	benches := workload.All()
+	if raceMode || testing.Short() {
+		benches = benches[:2] // race detector slowdown: trim the matrix
+	}
+	for _, w := range benches {
+		p, err := w.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(w.Short, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.MaxCycles = 20_000_000
+			cfg.WrongThreadExec = true
+			cfg.Core.WrongPathExec = true
+			cfg.Mem.Side = mem.SideWEC
+			for _, skip := range []bool{true, false} {
+				for _, observe := range []bool{false, true} {
+					ref := runParMode(t, cfg, p,parModes()[0], skip, observe)
+					for _, mode := range parModes()[1:] {
+						got := runParMode(t, cfg, p,mode, skip, observe)
+						tag := fmt.Sprintf("%s skip=%v obs=%v", mode.name, skip, observe)
+						if got.res.Stats != ref.res.Stats {
+							t.Errorf("%s: stats diverge\nseq: %+v\npar: %+v", tag, ref.res.Stats, got.res.Stats)
+						}
+						if got.res.MemCheck != ref.res.MemCheck {
+							t.Errorf("%s: memory %#x vs %#x", tag, got.res.MemCheck, ref.res.MemCheck)
+						}
+						if got.res.IntRegs != ref.res.IntRegs {
+							t.Errorf("%s: architectural registers diverge", tag)
+						}
+						if !bytes.Equal(got.metJS, ref.metJS) {
+							t.Errorf("%s: metrics JSON diverges", tag)
+						}
+						if !bytes.Equal(got.attJS, ref.attJS) {
+							t.Errorf("%s: attribution JSON diverges", tag)
+						}
+						if mode.workers >= 2 && got.segments == 0 && got.windows == 0 {
+							t.Errorf("%s: parallel stepping never engaged", tag)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelWindowEngages asserts the two-cycle window path actually runs
+// on a busy parallel region (the gates are all satisfiable), so the matrix
+// above genuinely covers it.
+func TestParallelWindowEngages(t *testing.T) {
+	p := scaleLoop(t, 48)
+	cfg := cfgTU(8)
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Workers = 2
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.statWindows == 0 {
+		t.Error("two-cycle window never engaged on a parallel loop")
+	}
+}
+
+// TestParallelChaosDeterministic drives parallel stepping under chaos
+// injection: because every core draws from its own forked stream, an
+// injected panic must fire at the same cycle with the same classification
+// no matter how many workers step the machine. Run with -race, this is
+// also the data-race net for the compute/commit protocol.
+func TestParallelChaosDeterministic(t *testing.T) {
+	p := scaleLoop(t, 48)
+	for _, ccfg := range []chaos.Config{
+		{Seed: 7, CorePanic: 2e-3},
+		{Seed: 11, MachinePanic: 1e-3},
+	} {
+		var refErr *simerr.Error
+		for i, mode := range parModes() {
+			cfg := cfgTU(8)
+			m, err := New(cfg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Workers = mode.workers
+			m.DisableParallel = mode.disable
+			m.Chaos = chaos.New(ccfg, "parallel-equivalence")
+			_, err = m.Run()
+			if err == nil {
+				t.Fatalf("%s: chaos run unexpectedly succeeded", mode.name)
+			}
+			var se *simerr.Error
+			if !errors.As(err, &se) {
+				t.Fatalf("%s: error is not a *simerr.Error: %v", mode.name, err)
+			}
+			if i == 0 {
+				refErr = se
+				continue
+			}
+			if se.Kind != refErr.Kind || se.Cycle != refErr.Cycle {
+				t.Errorf("%s: chaos fired (%v, cycle %d); sequential fired (%v, cycle %d)",
+					mode.name, se.Kind, se.Cycle, refErr.Kind, refErr.Cycle)
+			}
+		}
+	}
+}
