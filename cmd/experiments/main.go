@@ -6,11 +6,13 @@
 //	experiments -run fig11
 //	experiments -run all [-scale 2] [-workers 8] [-v]
 //
-// Observability (see README "Observability"):
+// Observability (see README "Observability" and "Live telemetry"):
 //
 //	experiments -run fig11 -v -interval 5000 -metrics-dir out/
 //	experiments -run gain -v -attrib-dir attrib/
 //	experiments -run all -cpuprofile cpu.pprof
+//	experiments -run all -telemetry-addr 127.0.0.1:9180 -telemetry-dir tel/
+//	experiments -span-timeline tel/spans.jsonl
 //
 // Robustness (see README "Robustness"): runs are supervised — a failed
 // cell is quarantined and the rest of the suite still completes; Ctrl-C
@@ -37,6 +39,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +60,10 @@ func run() int {
 		attribDir  = flag.String("attrib-dir", "", "attach fill attribution and write one report JSON per simulation into this directory")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+
+		telemetryAddr = flag.String("telemetry-addr", "", "serve live introspection HTTP (/metrics, /runs, /healthz, /debug/pprof) on this address")
+		telemetryDir  = flag.String("telemetry-dir", "", "write the span journal (spans.jsonl) and flight-recorder dumps into this directory")
+		spanTimeline  = flag.String("span-timeline", "", "convert a span JSONL file to Perfetto trace JSON (writes <file>.trace.json) and exit")
 
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit per simulation (0 = none)")
 		ledgerPath = flag.String("ledger", "", "journal completed simulations to this JSONL file")
@@ -80,6 +87,13 @@ func run() int {
 			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *spanTimeline != "" {
+		if err := convertSpans(*spanTimeline); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	if *list || *runID == "" {
@@ -112,6 +126,16 @@ func run() int {
 	if *verbose {
 		r.Verbose = os.Stderr
 	}
+	var tr *telemetry.Run
+	if *telemetryAddr != "" || *telemetryDir != "" {
+		var err error
+		tr, err = telemetry.Start(telemetry.Config{Addr: *telemetryAddr, Dir: *telemetryDir})
+		if err != nil {
+			return fail(err)
+		}
+		defer tr.Close()
+		r.Telemetry = tr
+	}
 	if *metricsDir != "" {
 		if *interval == 0 {
 			*interval = 10000
@@ -143,6 +167,9 @@ func run() int {
 			led.SetChaos(chaos.New(chaos.Config{Seed: *chaosSeed, LedgerFail: *chaosLedger}, "ledger"))
 		}
 		r.Ledger = led
+		if tr != nil {
+			tr.SetLedger(led.Path())
+		}
 		if *resume {
 			r.Prefill(prior)
 			if *verbose {
@@ -168,7 +195,13 @@ func run() int {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
 		}
+		if tr != nil {
+			tr.BeginSuite(e.ID)
+		}
 		tbl, err := e.Run(r)
+		if tr != nil {
+			tr.EndSuite(telemetry.OutcomeOf(err), err)
+		}
 		if err != nil {
 			// Quarantined: report, keep the rest of the suite moving.
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
@@ -215,6 +248,9 @@ func run() int {
 		if *ledgerPath != "" {
 			hint = fmt.Sprintf("; resume with -ledger %s -resume", *ledgerPath)
 		}
+		if tr != nil {
+			hint += fmt.Sprintf(" (telemetry run %s)", tr.ID)
+		}
 		fmt.Fprintf(os.Stderr, "experiments: interrupted, finished work flushed%s\n", hint)
 		return 130
 	}
@@ -224,6 +260,31 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// convertSpans renders a span JSONL journal as Perfetto trace JSON next to
+// it (<file>.trace.json), so suite spans load in the same UI as the
+// cycle-level timeline from -timeline.
+func convertSpans(path string) error {
+	in, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	outPath := path + ".trace.json"
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.ConvertSpans(in, out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }
 
 func fail(err error) int {

@@ -76,6 +76,7 @@ type scenario struct {
 	interval uint64 // metrics sampling interval; 0 = no collector
 	workers  int    // sta.Machine.Workers; 0 = machine default
 	serial   bool   // force sequential stepping (DisableParallel)
+	tap      bool   // attach a telemetry progress tap (sta.Machine.Tap)
 }
 
 func scenarios() []scenario {
@@ -96,6 +97,11 @@ func scenarios() []scenario {
 		scenario{name: "sim/gzip/orig/1tu", bench: "gzip", cfgName: config.Orig, tus: 1},
 		scenario{name: "sim/mcf/wth-wp-wec/8tu+metrics", bench: "mcf",
 			cfgName: config.WTHWPWEC, tus: 8, interval: 10000},
+		// The live-telemetry tap: its published cost is two atomic stores
+		// plus a commit sweep every 1024 loop iterations, so this entry
+		// should track the untapped mcf/wth-wp-wec/8tu numbers.
+		scenario{name: "sim/mcf/wth-wp-wec/8tu+tap", bench: "mcf",
+			cfgName: config.WTHWPWEC, tus: 8, tap: true},
 	)
 	// Scaling pairs: the same big machine stepped sequentially and with a
 	// fixed four-worker pool. The worker count is explicit (not the auto
@@ -147,6 +153,9 @@ func run(sc scenario, cfg sta.Config, prog *isa.Program) (Entry, error) {
 			m.DisableParallel = sc.serial
 			if sc.interval > 0 {
 				m.Metrics = metrics.NewCollector(sc.interval)
+			}
+			if sc.tap {
+				m.Tap = &sta.ProgressTap{}
 			}
 			r, err := m.Run()
 			if err != nil {

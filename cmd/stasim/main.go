@@ -9,10 +9,12 @@
 //	stasim -bench gzip -disasm | head
 //	stasim -list
 //
-// Observability (see README "Observability"):
+// Observability (see README "Observability" and "Live telemetry"):
 //
 //	stasim -bench mcf -config wth-wp-wec -metrics m.json -timeline t.trace.json -interval 1000
 //	stasim -bench mcf -metrics-csv series.csv -interval 500
+//	stasim -bench mcf -scale 4 -progress
+//	stasim -bench mcf -telemetry-addr 127.0.0.1:9180 -telemetry-dir tel/
 //
 // Fill attribution (see README "Attribution"):
 //
@@ -29,14 +31,17 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/attrib"
 	"repro/internal/config"
+	"repro/internal/interp"
 	"repro/internal/isa"
 	"repro/internal/metrics"
 	"repro/internal/simerr"
 	"repro/internal/sta"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -64,6 +69,10 @@ func main() {
 		dumpOnHang = flag.Bool("dump-on-hang", false, "on a deadlock or runaway failure, print the per-TU machine state dump to stderr")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
 		watchdog   = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default)")
+
+		progress      = flag.Bool("progress", false, "print a one-line heartbeat to stderr every second (cycle, cycles/s, IPC, est. remaining)")
+		telemetryAddr = flag.String("telemetry-addr", "", "serve live introspection HTTP (/metrics, /runs, /healthz, /debug/pprof) on this address")
+		telemetryDir  = flag.String("telemetry-dir", "", "write the span journal (spans.jsonl) and flight-recorder dumps into this directory")
 
 		metricsOut  = flag.String("metrics", "", "write metrics JSON (counters, interval series, histograms) to this file")
 		metricsCSV  = flag.String("metrics-csv", "", "write the interval time series as CSV to this file")
@@ -153,6 +162,29 @@ func main() {
 		ac.Window = *attribWindow
 		m.Attrib = ac
 	}
+	var tr *telemetry.Run
+	var cell *telemetry.Cell
+	if *telemetryAddr != "" || *telemetryDir != "" {
+		var terr error
+		tr, terr = telemetry.Start(telemetry.Config{Addr: *telemetryAddr, Dir: *telemetryDir})
+		fatal(terr)
+		cell = tr.StartCell(*bench, *cfgName, 0)
+		m.Tap = cell.Tap
+	}
+	if *progress && m.Tap == nil {
+		m.Tap = &sta.ProgressTap{}
+	}
+	if *progress {
+		// The functional reference gives the dynamic instruction count, so
+		// the heartbeat can estimate remaining wall time from commit rate.
+		var refInsts int64
+		if ref, err := interp.Run(prog); err == nil {
+			refInsts = ref.Insts
+		}
+		stop := make(chan struct{})
+		defer close(stop)
+		go heartbeat(m.Tap, refInsts, stop)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -161,12 +193,20 @@ func main() {
 	}
 	res, err := m.RunContext(ctx)
 	if err != nil {
+		if cell != nil {
+			cell.Fail(err)
+			tr.Close()
+		}
 		var se *simerr.Error
 		if *dumpOnHang && errors.As(err, &se) &&
 			(se.Kind == simerr.Deadlock || se.Kind == simerr.Runaway) {
 			fmt.Fprintln(os.Stderr, se.DumpState())
 		}
 		fatal(err)
+	}
+	if cell != nil {
+		cell.Done(res.Stats.Cycles)
+		defer tr.Close()
 	}
 
 	if *metricsOut != "" {
@@ -223,6 +263,42 @@ func main() {
 		}
 		fmt.Println()
 		fatal(rep.WriteText(os.Stdout, symbolLabeler(prog)))
+	}
+}
+
+// heartbeat prints one progress line per second from the machine's tap:
+// current cycle, simulation speed, aggregate IPC, and — when the functional
+// reference ran — the estimated wall time remaining at the current commit
+// rate.
+func heartbeat(tap *sta.ProgressTap, refInsts int64, stop <-chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	var lastCycle, lastCommits uint64
+	lastWall := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			cycle, commits := tap.Latest()
+			dt := now.Sub(lastWall).Seconds()
+			if dt <= 0 {
+				continue
+			}
+			cps := float64(cycle-lastCycle) / dt
+			ips := float64(commits-lastCommits) / dt
+			var ipc float64
+			if cycle > 0 {
+				ipc = float64(commits) / float64(cycle)
+			}
+			line := fmt.Sprintf("progress: cycle %d (%.0f cyc/s, IPC %.2f)", cycle, cps, ipc)
+			if rem := refInsts - int64(commits); refInsts > 0 && ips > 0 && rem > 0 {
+				eta := time.Duration(float64(rem) / ips * float64(time.Second))
+				line += fmt.Sprintf(", est. %s remaining", eta.Round(time.Second))
+			}
+			fmt.Fprintln(os.Stderr, line)
+			lastCycle, lastCommits, lastWall = cycle, commits, now
+		}
 	}
 }
 

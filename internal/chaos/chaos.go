@@ -112,6 +112,13 @@ func (i Injected) Error() string {
 // one ledger). A nil Injector never fires. Not safe for concurrent use:
 // attach one injector per machine, like a metrics collector.
 type Injector struct {
+	// Hook, when non-nil, observes every fault the instant it fires (before
+	// the panic is raised / the sleep starts / the error returns), so the
+	// telemetry layer can journal injected faults as structured events. It
+	// runs on whichever goroutine drew the decision and so must be safe for
+	// concurrent use. Forked children inherit the parent's hook.
+	Hook func(p Point, salt string)
+
 	cfg  Config
 	salt string
 	// thresholds[p] compares directly against the raw xorshift draw so the
@@ -167,7 +174,9 @@ func (in *Injector) Fork(sub string) *Injector {
 	if in == nil {
 		return nil
 	}
-	return New(in.cfg, in.salt+"|"+sub)
+	child := New(in.cfg, in.salt+"|"+sub)
+	child.Hook = in.Hook
+	return child
 }
 
 // Hit draws one decision for the point. Nil receivers and zero-probability
@@ -181,7 +190,11 @@ func (in *Injector) Hit(p Point) bool {
 	s ^= s >> 7
 	s ^= s << 17
 	in.states[p] = s
-	return s < in.thresholds[p]
+	hit := s < in.thresholds[p]
+	if hit && in.Hook != nil {
+		in.Hook(p, in.salt)
+	}
+	return hit
 }
 
 // Panic raises an Injected panic if the point fires this draw.

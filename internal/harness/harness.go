@@ -24,6 +24,7 @@ import (
 	"repro/internal/simerr"
 	"repro/internal/sta"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -80,6 +81,13 @@ type Runner struct {
 	// Ledger, when non-nil, journals each completed cell so an interrupted
 	// suite can resume (see OpenLedger and Prefill).
 	Ledger *Ledger
+	// Telemetry, when non-nil, scopes this runner's work under a live
+	// telemetry run: every fresh cell opens a span and publishes progress
+	// through a sta.ProgressTap (visible on the run's HTTP introspection
+	// server), failures stamp the run/span identity onto their errors and
+	// dump the flight recorder, and suite progress is logged structurally
+	// instead of through Verbose.
+	Telemetry *telemetry.Run
 
 	mu      sync.Mutex
 	results map[string]*sta.Result
@@ -173,9 +181,21 @@ func key(bench string, cfg sta.Config) string {
 // quarantined so later lookups fail fast (see SuiteError).
 func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err error) {
 	k := key(bench, cfg)
+	var cell *telemetry.Cell
 	defer func() {
 		if rec := recover(); rec != nil {
 			res, err = nil, r.quarantine(k, bench, simerr.FromPanic("harness.Result", rec))
+		}
+		// Telemetry finalization sees the recovered error too: a failed
+		// cell ends its span with the simerr outcome and dumps the
+		// flight recorder; a successful one records the final cycle.
+		if cell == nil {
+			return
+		}
+		if err != nil {
+			cell.Fail(err)
+		} else if res != nil {
+			cell.Done(res.Stats.Cycles)
 		}
 	}()
 	r.mu.Lock()
@@ -190,6 +210,9 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 	r.mu.Unlock()
 	if ok {
 		return res, nil
+	}
+	if r.Telemetry != nil {
+		cell = r.Telemetry.StartCell(bench, "cfg-"+shortKey(k), r.Chaos.Seed)
 	}
 	p, err := r.program(bench)
 	if err != nil {
@@ -233,7 +256,10 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 		ac.TopN = r.AttribTopN
 		m.Attrib = ac
 	}
-	res, err = r.runSupervised(k, m)
+	if cell != nil {
+		m.Tap = cell.Tap
+	}
+	res, err = r.runSupervised(k, m, cell)
 	if err != nil {
 		return nil, r.quarantine(k, bench, err)
 	}
@@ -246,7 +272,7 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 		return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 	}
 	if col != nil && r.MetricsDir != "" {
-		err := r.retryIO(func() error {
+		err := r.retryIO("harness.metrics", cell, func() error {
 			return classifyIO("harness.metrics", r.writeMetrics(bench, k, col, res.Stats.Cycles))
 		})
 		if err != nil {
@@ -260,7 +286,7 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 			return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 		}
 		if r.AttribDir != "" {
-			err := r.retryIO(func() error {
+			err := r.retryIO("harness.attrib", cell, func() error {
 				return classifyIO("harness.attrib", r.writeAttrib(bench, k, rep))
 			})
 			if err != nil {
@@ -269,9 +295,12 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 		}
 	}
 	if r.Ledger != nil {
-		err := r.retryIO(func() error { return r.Ledger.Append(k, res) })
+		err := r.retryIO("harness.ledger", cell, func() error { return r.Ledger.Append(k, res) })
 		if err != nil {
 			return nil, r.quarantine(k, bench, err)
+		}
+		if r.Telemetry != nil {
+			r.Telemetry.NoteLedgerAppend()
 		}
 	}
 	r.mu.Lock()
@@ -280,7 +309,9 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 		r.attribs[k] = rep
 	}
 	r.mu.Unlock()
-	if r.Verbose != nil {
+	// With telemetry attached, cell completion is logged structurally (see
+	// telemetry.Cell.Done) instead of through the ad-hoc progress line.
+	if r.Verbose != nil && r.Telemetry == nil {
 		r.vmu.Lock()
 		r.completed++
 		fmt.Fprintf(r.Verbose, "  [%3d] done %-8s %11d cycles\n", r.completed, bench, res.Stats.Cycles)
@@ -351,6 +382,9 @@ func (r *Runner) writeAttrib(bench, key string, rep *attrib.Report) error {
 // runs (and is journaled, when a ledger is attached), and the batch
 // returns a *SuiteError aggregating everything that went wrong.
 func (r *Runner) batch(jobs []job) error {
+	if r.Telemetry != nil && r.Ledger != nil && r.Telemetry.LedgerPath() == "" {
+		r.Telemetry.SetLedger(r.Ledger.Path())
+	}
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -389,7 +423,14 @@ func (r *Runner) batch(jobs []job) error {
 	close(jobc)
 	wg.Wait()
 	if len(failures) > 0 {
-		return &SuiteError{Total: len(jobs), Failures: failures}
+		e := &SuiteError{Total: len(jobs), Failures: failures}
+		if r.Telemetry != nil {
+			e.RunID = r.Telemetry.ID
+		}
+		if r.Ledger != nil {
+			e.Ledger = r.Ledger.Path()
+		}
+		return e
 	}
 	return nil
 }

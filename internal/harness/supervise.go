@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/simerr"
 	"repro/internal/sta"
+	"repro/internal/telemetry"
 )
 
 // SuiteError aggregates every failed cell of a batch that kept going past
@@ -19,6 +21,13 @@ import (
 type SuiteError struct {
 	Total    int              // distinct cells the batch attempted
 	Failures map[string]error // memo key -> classified failure
+	// RunID is the telemetry run identity, when a telemetry.Run was
+	// attached — it names the span JSONL and flight dumps describing each
+	// failure.
+	RunID string
+	// Ledger is the results-ledger path, when one was attached — resuming
+	// with the same ledger skips every cell that did finish.
+	Ledger string
 }
 
 // Error summarizes the damage by failure kind; per-cell detail is in
@@ -38,8 +47,15 @@ func (e *SuiteError) Error() string {
 			}
 		}
 	}
-	return fmt.Sprintf("harness: %d of %d cells failed (%s)",
+	msg := fmt.Sprintf("harness: %d of %d cells failed (%s)",
 		len(e.Failures), e.Total, strings.Join(parts, ", "))
+	if e.RunID != "" {
+		msg += fmt.Sprintf("; telemetry run %s", e.RunID)
+	}
+	if e.Ledger != "" {
+		msg += fmt.Sprintf("; ledger %s (finished cells resume from it)", e.Ledger)
+	}
+	return msg
 }
 
 // Kinds counts the quarantined failures by taxonomy kind.
@@ -86,6 +102,9 @@ func (r *Runner) quarantine(k, bench string, err error) error {
 	if e.Config == "" {
 		e.Config = "cfg-" + shortKey(k)
 	}
+	if e.Run == "" && r.Telemetry != nil {
+		e.Run = r.Telemetry.ID
+	}
 	r.mu.Lock()
 	if r.failed == nil {
 		r.failed = make(map[string]error)
@@ -100,7 +119,7 @@ func (r *Runner) quarantine(k, bench string, err error) error {
 // is enabled — a deterministic fault injector salted with the memo key, so
 // worker scheduling order cannot change which cells fault. Panic recovery
 // and the forward-progress watchdog live inside RunContext itself.
-func (r *Runner) runSupervised(k string, m *sta.Machine) (*sta.Result, error) {
+func (r *Runner) runSupervised(k string, m *sta.Machine, cell *telemetry.Cell) (*sta.Result, error) {
 	ctx := r.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -112,14 +131,38 @@ func (r *Runner) runSupervised(k string, m *sta.Machine) (*sta.Result, error) {
 	}
 	if r.Chaos.Enabled() {
 		m.Chaos = chaos.New(r.Chaos, k)
+		if r.Telemetry != nil {
+			m.Chaos.Hook = r.Telemetry.NoteFault
+		}
 	}
-	return m.RunContext(ctx)
+	if cell == nil {
+		return m.RunContext(ctx)
+	}
+	// The machine invocation gets its own span under the cell, so the
+	// timeline separates build/reference/validation time from simulation.
+	sim := r.Telemetry.StartSpan("sim", "RunContext", cell.Span)
+	res, err := m.RunContext(ctx)
+	var cycles uint64
+	if res != nil {
+		cycles = res.Stats.Cycles
+	} else if se := (*simerr.Error)(nil); simerrAs(err, &se) {
+		cycles = se.Cycle
+	}
+	sim.EndAt(cycles, telemetry.OutcomeOf(err), err)
+	return res, err
+}
+
+// simerrAs is errors.As pinned to *simerr.Error.
+func simerrAs(err error, target **simerr.Error) bool {
+	return errors.As(err, target)
 }
 
 // retryIO runs op, retrying IO-kind failures with capped exponential
 // backoff; any other kind (or exhausted retries) is returned as-is. IO
-// failures are the only class the supervisor treats as transient.
-func (r *Runner) retryIO(op func() error) error {
+// failures are the only class the supervisor treats as transient. With
+// telemetry attached, each re-attempt is counted, logged, and traced as a
+// "retry" span under the cell.
+func (r *Runner) retryIO(opName string, cell *telemetry.Cell, op func() error) error {
 	retries := r.Retries
 	if retries == 0 {
 		retries = 3
@@ -134,8 +177,21 @@ func (r *Runner) retryIO(op func() error) error {
 	const maxBackoff = 250 * time.Millisecond
 	var err error
 	for attempt := 0; ; attempt++ {
-		if err = op(); err == nil || attempt >= retries || simerr.KindOf(err) != simerr.IO {
+		var sp *telemetry.Span
+		if attempt > 0 && r.Telemetry != nil {
+			var parent *telemetry.Span
+			if cell != nil {
+				parent = cell.Span
+			}
+			sp = r.Telemetry.StartSpan("retry", fmt.Sprintf("%s retry %d", opName, attempt), parent)
+		}
+		err = op()
+		sp.End(telemetry.OutcomeOf(err), err)
+		if err == nil || attempt >= retries || simerr.KindOf(err) != simerr.IO {
 			return err
+		}
+		if r.Telemetry != nil {
+			r.Telemetry.NoteRetry(opName, attempt+1, err)
 		}
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > maxBackoff {

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// ffPair builds two identical samplers over a mutable counter: one driven
+// per-cycle through MaybeSample (the reference), one via FastForward over
+// the same idle spans. The counter never moves during a skipped span, which
+// is the invariant the event-skip fast path relies on.
+func ffPair(interval uint64) (ref, ff *Sampler, counter *float64) {
+	c := new(float64)
+	ref = NewSampler(interval)
+	ref.Add("events", Delta, func() float64 { return *c }, nil)
+	ff = NewSampler(interval)
+	ff.Add("events", Delta, func() float64 { return *c }, nil)
+	return ref, ff, c
+}
+
+// stepRef drives the reference sampler one cycle at a time over (from, to].
+func stepRef(s *Sampler, from, to uint64) {
+	for c := from + 1; c <= to; c++ {
+		s.MaybeSample(c)
+	}
+}
+
+func sameRows(t *testing.T, ref, ff *Sampler) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Cycles(), ff.Cycles()) {
+		t.Fatalf("cycle stamps diverge: ref %v, fast-forward %v", ref.Cycles(), ff.Cycles())
+	}
+	if !reflect.DeepEqual(ref.Rows(), ff.Rows()) {
+		t.Fatalf("rows diverge: ref %v, fast-forward %v", ref.Rows(), ff.Rows())
+	}
+	if ref.NextBoundary() != ff.NextBoundary() {
+		t.Fatalf("next boundary diverges: ref %d, fast-forward %d", ref.NextBoundary(), ff.NextBoundary())
+	}
+}
+
+func TestFastForwardZeroLengthSkip(t *testing.T) {
+	ref, ff, _ := ffPair(10)
+	stepRef(ref, 0, 5)
+	// to <= from must be a no-op in every representable form.
+	ff.FastForward(5, 5)
+	ff.FastForward(7, 5)
+	stepRef(ff, 0, 5)
+	sameRows(t, ref, ff)
+	if got := len(ff.Rows()); got != 0 {
+		t.Fatalf("zero-length skips produced %d rows, want 0", got)
+	}
+}
+
+func TestFastForwardAcrossIntervalBoundary(t *testing.T) {
+	ref, ff, counter := ffPair(10)
+	*counter = 3
+	stepRef(ref, 0, 4)
+	stepRef(ff, 0, 4)
+	// Skip 4 -> 25 crosses the boundaries at 10 and 20; both samplers must
+	// emit identical rows there and agree on the next boundary (30).
+	stepRef(ref, 4, 25)
+	ff.FastForward(4, 25)
+	sameRows(t, ref, ff)
+	if got := ff.Cycles(); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("boundary rows at %v, want [10 20]", got)
+	}
+	if want := uint64(30); ff.NextBoundary() != want {
+		t.Fatalf("next boundary %d, want %d", ff.NextBoundary(), want)
+	}
+}
+
+func TestFastForwardPastFinalSample(t *testing.T) {
+	ref, ff, counter := ffPair(100)
+	*counter = 7
+	// The whole run fits inside one skip that ends past the last boundary
+	// the run will ever see; Finish then adds the partial tail row.
+	stepRef(ref, 0, 130)
+	ff.FastForward(0, 130)
+	sameRows(t, ref, ff)
+	ref.Finish(130)
+	ff.Finish(130)
+	sameRows(t, ref, ff)
+	if got := ff.Cycles(); len(got) != 2 || got[0] != 100 || got[1] != 130 {
+		t.Fatalf("rows at %v, want [100 130]", got)
+	}
+}
+
+func TestFastForwardOverdueBoundary(t *testing.T) {
+	// MaybeSample at a cycle past the boundary re-anchors the next boundary
+	// at cycle+interval; a skip starting with an already-overdue boundary
+	// must fire at from+1 exactly like the per-cycle loop would.
+	ref, ff, _ := ffPair(10)
+	// Drive both to cycle 8 (no row yet), then jump straight to 35: the
+	// per-cycle loop fires at 10, 20, 30.
+	stepRef(ref, 0, 8)
+	stepRef(ff, 0, 8)
+	stepRef(ref, 8, 35)
+	ff.FastForward(8, 35)
+	sameRows(t, ref, ff)
+
+	// Now make the boundary overdue before skipping: next is 45, but the
+	// machine stalls until cycle 47 without sampling (as the fast path does
+	// when it calls FastForward(from=47, ...) with s.next=45 <= from). The
+	// reference loop fires at 48 = from+1.
+	ref2, ff2, _ := ffPair(10)
+	stepRef(ref2, 0, 35)
+	ff2.FastForward(0, 35)
+	// Force the overdue state directly: skip from 47 with next=45 pending.
+	stepRef(ref2, 47, 60)
+	ff2.FastForward(47, 60)
+	sameRows(t, ref2, ff2)
+	last := ff2.Cycles()[len(ff2.Cycles())-1]
+	if want := uint64(58); last != want {
+		t.Fatalf("overdue boundary fired at %d, want %d (from+1 then +interval)", last, want)
+	}
+}
+
+func TestFastForwardBeforeNextBoundaryIsNoop(t *testing.T) {
+	ref, ff, _ := ffPair(50)
+	stepRef(ref, 0, 30)
+	ff.FastForward(0, 30) // next boundary (50) is past `to`: nothing fires
+	sameRows(t, ref, ff)
+	if len(ff.Rows()) != 0 {
+		t.Fatalf("skip short of the first boundary produced rows: %v", ff.Cycles())
+	}
+}

@@ -89,6 +89,8 @@ type Error struct {
 	Op     string    // failing operation, e.g. "sta.Run", "harness.ledger"
 	Bench  string    // benchmark short name, when known
 	Config string    // configuration key or label, when known
+	Run    string    // telemetry run ID, when the failure happened under one
+	Span   uint64    // telemetry span ID of the failing cell, when known
 	Cycle  uint64    // simulated cycle at failure (0 if not in a run)
 	TUs    []TUState // per-thread-unit pipeline snapshot, when available
 	Stack  []byte    // goroutine stack for Panic kinds
@@ -108,6 +110,13 @@ func (e *Error) Error() string {
 	}
 	if e.Cycle > 0 {
 		fmt.Fprintf(&b, " at cycle %d", e.Cycle)
+	}
+	if e.Run != "" {
+		fmt.Fprintf(&b, " (run %s", e.Run)
+		if e.Span != 0 {
+			fmt.Fprintf(&b, " span %d", e.Span)
+		}
+		b.WriteString(")")
 	}
 	if e.Err != nil {
 		fmt.Fprintf(&b, ": %v", e.Err)

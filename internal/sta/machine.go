@@ -143,6 +143,14 @@ type Machine struct {
 	// check per cycle and leaves results bit-identical.
 	Chaos *chaos.Injector
 
+	// Tap, when non-nil, receives live progress publications from the run
+	// loop: lock-free cycle/commit counters, a throttled sample ring, and
+	// a bridged metrics snapshot, all safe to read from other goroutines
+	// while the run is in flight (heartbeats, the telemetry HTTP server,
+	// the flight recorder). Attach before Run; a nil tap costs one untaken
+	// nil check per run-loop iteration.
+	Tap *ProgressTap
+
 	// Workers caps the goroutines stepping thread units in parallel.
 	// 0 picks automatically (one worker per four TUs, bounded by
 	// GOMAXPROCS); 1 forces the plain sequential loop. Results are
@@ -261,6 +269,9 @@ func (m *Machine) RunContext(ctx context.Context) (res *Result, err error) {
 			e.TUs = m.Snapshot()
 			res, err = nil, e
 		}
+		// Final publication (success or failure) so late readers — the
+		// flight recorder most of all — see the terminal state.
+		m.publishProgress(true)
 	}()
 	m.attachMetrics()
 	m.attachAttrib()
@@ -292,6 +303,9 @@ func (m *Machine) RunContext(ctx context.Context) (res *Result, err error) {
 		if m.cycle >= m.cfg.MaxCycles {
 			return nil, m.stallError(simerr.Runaway,
 				fmt.Errorf("exceeded %d cycles without halting", m.cfg.MaxCycles))
+		}
+		if m.Tap != nil && iter&1023 == 0 {
+			m.publishProgress(false)
 		}
 		if done != nil && iter&1023 == 0 {
 			select {
