@@ -23,6 +23,13 @@
 //	experiments -run all -ledger results.jsonl -resume
 //	experiments -run fig10 -timeout 2m
 //	experiments -run fig10 -chaos-seed 7 -chaos-panic 1e-7
+//
+// Cross-run analytics (see README "Cross-run analytics"): with -archive,
+// every completed cell writes a manifest into a content-addressed run
+// archive that cmd/simql can list, diff, and render:
+//
+//	experiments -run fig11 -archive runs/
+//	simql list -root runs/
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/harness"
+	"repro/internal/runstore"
 	"repro/internal/telemetry"
 )
 
@@ -68,6 +76,7 @@ func run() int {
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit per simulation (0 = none)")
 		ledgerPath = flag.String("ledger", "", "journal completed simulations to this JSONL file")
 		resume     = flag.Bool("resume", false, "preload journaled results from -ledger before running")
+		archiveDir = flag.String("archive", "", "archive one manifest per completed cell into this content-addressed run archive (query with simql)")
 
 		chaosSeed     = flag.Uint64("chaos-seed", 0, "seed for the deterministic fault injector")
 		chaosPanic    = flag.Float64("chaos-panic", 0, "per-cycle machine-step panic probability")
@@ -156,6 +165,19 @@ func run() int {
 
 	if *resume && *ledgerPath == "" {
 		return fail(fmt.Errorf("-resume requires -ledger"))
+	}
+	if *archiveDir != "" {
+		st, err := runstore.Open(*archiveDir)
+		if err != nil {
+			return fail(err)
+		}
+		defer st.Close()
+		r.Archive = st
+		r.ArchiveTool = "experiments"
+		r.ArchiveRev = runstore.GitRev()
+		if tr != nil {
+			tr.SetArchive(st.Root())
+		}
 	}
 	if *ledgerPath != "" {
 		led, prior, err := harness.OpenLedger(*ledgerPath, *scale)

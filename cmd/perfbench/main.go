@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -252,6 +254,7 @@ func main() {
 	tol := flag.Float64("tolerance", 0.10, "allowed relative regression before failing -check")
 	strict := flag.Bool("strict", false, "also gate wall-clock ns/op (host-dependent) under -check")
 	suite := flag.Bool("suite", false, "also time one full experiments regeneration (suite_wall_seconds)")
+	history := flag.String("history", "perf/history", "also append a timestamped snapshot of the report into this directory (\"\" disables); simql diff -perf and simql report read the trend from here")
 	flag.Parse()
 
 	rep := &Report{
@@ -303,11 +306,44 @@ func main() {
 	}
 	fmt.Println("wrote", *out)
 
+	if *history != "" {
+		// The history directory accumulates one immutable snapshot per
+		// measurement, named by the report's own UTC timestamp, so
+		// `simql report` can plot the perf trend and `simql diff -perf`
+		// can compare any two points. perf/.gitignore keeps snapshots out
+		// of the repository; only the curated baseline is committed.
+		if err := os.MkdirAll(*history, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		stamp := strings.Map(func(r rune) rune {
+			if r == ':' {
+				return '-'
+			}
+			return r
+		}, rep.Generated)
+		snap := filepath.Join(*history, stamp+".json")
+		if err := os.WriteFile(snap, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", snap)
+	}
+
 	if *check != "" {
 		base, err := load(*check)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)
 			os.Exit(1)
+		}
+		if base.HostCPUs != 0 && base.HostCPUs != rep.HostCPUs {
+			// A different core count alone doesn't invalidate the gated
+			// deterministic metrics, but it does shift wall-clock numbers,
+			// so flag it for anyone reading ns/op deltas.
+			fmt.Fprintf(os.Stderr,
+				"perfbench: warning: baseline %s was measured on a %d-CPU host, this one has %d; "+
+					"wall-clock (ns/op) comparisons are indicative only\n",
+				*check, base.HostCPUs, rep.HostCPUs)
 		}
 		if base.GoMaxProcs != 0 && base.GoMaxProcs != rep.GoMaxProcs {
 			fmt.Fprintf(os.Stderr,

@@ -20,6 +20,11 @@
 //
 //	stasim -bench mcf -config wth-wp-wec -attrib
 //	stasim -bench mcf -config vc -attrib -attrib-top 10 -attrib-json report.json
+//
+// Cross-run analytics (see README "Cross-run analytics"):
+//
+//	stasim -bench mcf -config wth-wp-wec -archive runs/
+//	simql list -root runs/
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -39,6 +45,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/runstore"
 	"repro/internal/simerr"
 	"repro/internal/sta"
 	"repro/internal/telemetry"
@@ -73,6 +80,8 @@ func main() {
 		progress      = flag.Bool("progress", false, "print a one-line heartbeat to stderr every second (cycle, cycles/s, IPC, est. remaining)")
 		telemetryAddr = flag.String("telemetry-addr", "", "serve live introspection HTTP (/metrics, /runs, /healthz, /debug/pprof) on this address")
 		telemetryDir  = flag.String("telemetry-dir", "", "write the span journal (spans.jsonl) and flight-recorder dumps into this directory")
+
+		archiveDir = flag.String("archive", "", "archive this run's manifest into a content-addressed run archive (query with simql)")
 
 		metricsOut  = flag.String("metrics", "", "write metrics JSON (counters, interval series, histograms) to this file")
 		metricsCSV  = flag.String("metrics-csv", "", "write the interval time series as CSV to this file")
@@ -185,13 +194,18 @@ func main() {
 		defer close(stop)
 		go heartbeat(m.Tap, refInsts, stop)
 	}
+	if *archiveDir != "" && *file != "" {
+		fatal(fmt.Errorf("-archive needs a named benchmark; -file programs have no stable cell identity"))
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	simStart := time.Now()
 	res, err := m.RunContext(ctx)
+	simWall := time.Since(simStart)
 	if err != nil {
 		if cell != nil {
 			cell.Fail(err)
@@ -256,13 +270,46 @@ func main() {
 	fmt.Printf("update traffic   %d bus transactions\n", s.UpdateTraffic)
 	fmt.Printf("memory checksum  %#x\n", res.MemCheck)
 
+	var rep *attrib.Report
 	if ac != nil {
-		rep := ac.Report(s.Cycles)
+		rep = ac.Report(s.Cycles)
 		if *attribJSON != "" {
 			fatal(writeFile(*attribJSON, func(f *os.File) error { return rep.WriteJSON(f) }))
 		}
 		fmt.Println()
 		fatal(rep.WriteText(os.Stdout, symbolLabeler(prog)))
+	}
+
+	if *archiveDir != "" {
+		st, err := runstore.Open(*archiveDir)
+		fatal(err)
+		man := runstore.New(*bench, *scale, cfg, res)
+		man.Tool = "stasim"
+		man.GitRev = runstore.GitRev()
+		man.WallSeconds = simWall.Seconds()
+		man.Attrib = runstore.SummarizeAttrib(rep)
+		if tr != nil {
+			man.RunID = tr.ID
+			if tr.Dir() != "" {
+				man.Artifacts = map[string]string{"spans": filepath.Join(tr.Dir(), "spans.jsonl")}
+			}
+		}
+		if *metricsOut != "" {
+			if man.Artifacts == nil {
+				man.Artifacts = map[string]string{}
+			}
+			man.Artifacts["metrics"] = *metricsOut
+		}
+		if *attribJSON != "" {
+			if man.Artifacts == nil {
+				man.Artifacts = map[string]string{}
+			}
+			man.Artifacts["attrib"] = *attribJSON
+		}
+		fatal(st.Put(man))
+		path := st.ManifestPath(man)
+		fatal(st.Close())
+		fmt.Printf("archived         %s\n", path)
 	}
 }
 

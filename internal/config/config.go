@@ -74,6 +74,33 @@ func Apply(name Name, cfg *sta.Config) error {
 	return nil
 }
 
+// Infer reverses Apply: it names the paper configuration whose speculation
+// settings match cfg, by probing every Name against the same machine. The
+// five fields Apply controls (wrong-thread execution, wrong-path
+// continuation, side-buffer kind, wrong-fill routing, next-line prefetch)
+// are the discriminator; cache geometry and TU count are free, so a
+// Figure 13 cell still infers as "wth-wp-wec". Machines matching no paper
+// configuration (e.g. WEC ablation variants) return ok=false.
+func Infer(cfg sta.Config) (Name, bool) {
+	if cfg.Mem.WECNoVictim || cfg.Mem.WECNoNextLine {
+		return "", false
+	}
+	for _, n := range Names() {
+		probe := cfg
+		if err := Apply(n, &probe); err != nil {
+			continue
+		}
+		if probe.WrongThreadExec == cfg.WrongThreadExec &&
+			probe.Core.WrongPathExec == cfg.Core.WrongPathExec &&
+			probe.Mem.Side == cfg.Mem.Side &&
+			probe.Mem.WrongFillsToL1 == cfg.Mem.WrongFillsToL1 &&
+			probe.Mem.NextLinePrefetch == cfg.Mem.NextLinePrefetch {
+			return n, true
+		}
+	}
+	return "", false
+}
+
 // Main returns the §5.2 machine with the given thread-unit count: every TU
 // is an 8-issue out-of-order core with a private 8 KB direct-mapped L1 data
 // cache; total cache capacity grows with the TU count.

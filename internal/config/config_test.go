@@ -98,3 +98,39 @@ func TestMainScaling(t *testing.T) {
 		}
 	}
 }
+
+// TestInferRoundTrips: Infer must reverse Apply for every paper
+// configuration, be insensitive to free parameters (geometry, TU count),
+// and refuse machines no configuration produces.
+func TestInferRoundTrips(t *testing.T) {
+	for _, n := range Names() {
+		cfg := Main(4)
+		cfg.Mem.SideEntries = 32 // free parameter: must not break inference
+		cfg.Mem.L1DSize = 16 * 1024
+		if err := Apply(n, &cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := Infer(cfg)
+		if !ok || got != n {
+			t.Errorf("Infer(Apply(%s)) = %q, %v", n, got, ok)
+		}
+	}
+	// Ablation knobs take the machine outside the paper's eight configs.
+	cfg := Main(8)
+	if err := Apply(WTHWPWEC, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mem.WECNoVictim = true
+	if name, ok := Infer(cfg); ok {
+		t.Errorf("WEC ablation inferred as %q", name)
+	}
+	// A hand-rolled speculation mix matching no Name is not inferred.
+	cfg = Main(8)
+	cfg.WrongThreadExec = true
+	cfg.Core.WrongPathExec = false
+	cfg.Mem.Side = mem.SidePB
+	cfg.Mem.NextLinePrefetch = false
+	if name, ok := Infer(cfg); ok {
+		t.Errorf("non-paper machine inferred as %q", name)
+	}
+}

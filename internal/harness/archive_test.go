@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runstore"
+)
+
+// TestArchiveManifestOnFreshCell: a runner with an archive attached writes
+// one manifest per fresh cell, carrying the same memo key, counters, and
+// checksum the ledger journals.
+func TestArchiveManifestOnFreshCell(t *testing.T) {
+	dir := t.TempDir()
+	st, err := runstore.Open(filepath.Join(dir, "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	bench := Benches()[0].Short
+	cfg := smallCfg(t)
+	r := NewRunner(1)
+	r.Archive = st
+	res, err := r.Result(bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("archive has %d cells, want 1", st.Len())
+	}
+	m := st.All()[0]
+	if m.MemoKey != MemoKey(bench, cfg) {
+		t.Errorf("manifest memo key %q does not match harness key", m.MemoKey)
+	}
+	if m.Stats != res.Stats || m.MemCheck != res.MemCheck {
+		t.Errorf("manifest counters diverge from the result")
+	}
+	if m.Tool != "harness" {
+		t.Errorf("default tool %q, want harness", m.Tool)
+	}
+	if m.Config != "wth-wp-wec" {
+		t.Errorf("config inferred as %q", m.Config)
+	}
+	// A memoized re-request must not duplicate the manifest.
+	if _, err := r.Result(bench, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("memoized re-request grew the archive to %d", st.Len())
+	}
+}
+
+// TestArchiveResumeConvergesToOneManifestPerCell is the interrupted-sweep
+// contract: a sweep killed partway (after journaling and archiving some
+// cells — including a torn archive-index tail from the kill) and resumed
+// with the ledger's prior results converges on exactly one manifest and
+// one per-cell file per cell, with no duplicates from the replayed tail.
+func TestArchiveResumeConvergesToOneManifestPerCell(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "ledger.jsonl")
+	archiveDir := filepath.Join(dir, "runs")
+	cfg := smallCfg(t)
+	benches := []string{Benches()[0].Short, Benches()[1].Short, Benches()[2].Short}
+
+	// Phase 1: the sweep gets through the first two cells, then is killed —
+	// mid-append to the archive index, for good measure.
+	led, _, err := OpenLedger(ledgerPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := runstore.Open(archiveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(1)
+	r1.Ledger = led
+	r1.Archive = st
+	for _, b := range benches[:2] {
+		if _, err := r1.Result(b, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	led.Close()
+	st.Close()
+	f, err := os.OpenFile(filepath.Join(archiveDir, "index.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"cell_key":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Phase 2: resume. The ledger replays the finished cells; the archive
+	// drops its torn tail; the runner re-runs the whole sweep.
+	led2, prior, err := OpenLedger(ledgerPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led2.Close()
+	if len(prior) != 2 {
+		t.Fatalf("ledger replayed %d cells, want 2", len(prior))
+	}
+	st2, err := runstore.Open(archiveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("reopened archive has %d cells, want 2 (archived before journaled)", st2.Len())
+	}
+	r2 := NewRunner(1)
+	r2.Ledger = led2
+	r2.Archive = st2
+	r2.Prefill(prior)
+	for _, b := range benches {
+		if _, err := r2.Result(b, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st2.Len() != 3 {
+		t.Fatalf("after resume: %d manifests, want exactly 3 (one per cell)", st2.Len())
+	}
+	// Exactly one per-cell file per cell, all under one config directory.
+	files, err := filepath.Glob(filepath.Join(archiveDir, "c*", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("archive tree has %d cell files, want 3: %v", len(files), files)
+	}
+	seen := make(map[string]bool)
+	for _, m := range st2.All() {
+		if seen[m.CellKey] {
+			t.Errorf("duplicate cell key %s", m.CellKey)
+		}
+		seen[m.CellKey] = true
+	}
+}

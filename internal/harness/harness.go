@@ -8,7 +8,6 @@ package harness
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -21,6 +20,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/runstore"
 	"repro/internal/simerr"
 	"repro/internal/sta"
 	"repro/internal/stats"
@@ -81,6 +81,19 @@ type Runner struct {
 	// Ledger, when non-nil, journals each completed cell so an interrupted
 	// suite can resume (see OpenLedger and Prefill).
 	Ledger *Ledger
+	// Archive, when non-nil, archives every fresh completed cell's
+	// manifest (config hash, provenance, deterministic counters, artifact
+	// references) into the content-addressed run store, through the same
+	// retry policy as the other export paths. The put happens before the
+	// ledger append, so a journaled cell is always archived: an
+	// interrupted sweep resumed from its ledger converges on exactly one
+	// manifest per cell.
+	Archive *runstore.Store
+	// ArchiveTool names the producing CLI in manifests ("" = "harness").
+	ArchiveTool string
+	// ArchiveRev is the git revision stamped on manifests (best-effort;
+	// see runstore.GitRev).
+	ArchiveRev string
 	// Telemetry, when non-nil, scopes this runner's work under a live
 	// telemetry run: every fresh cell opens a span and publishes progress
 	// through a sta.ProgressTap (visible on the run's HTTP introspection
@@ -166,9 +179,15 @@ type job struct {
 	cfg   sta.Config
 }
 
-func key(bench string, cfg sta.Config) string {
-	return fmt.Sprintf("%s|%+v", bench, cfg)
+// MemoKey renders the memoization key for a (benchmark, configuration)
+// cell — the identity under which results are cached, journaled to the
+// ledger, and content-addressed in the run archive. The rendering lives in
+// runstore so every producer and consumer of archive hashes agrees on it.
+func MemoKey(bench string, cfg sta.Config) string {
+	return runstore.MemoKey(bench, cfg)
 }
+
+func key(bench string, cfg sta.Config) string { return MemoKey(bench, cfg) }
 
 // Result runs one simulation (memoized) and validates the architectural
 // outcome against the functional reference. Every fresh run is also checked
@@ -259,7 +278,13 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 	if cell != nil {
 		m.Tap = cell.Tap
 	}
+	simWorkers := m.Workers
+	if m.DisableParallel {
+		simWorkers = 0
+	}
+	simStart := time.Now()
 	res, err = r.runSupervised(k, m, cell)
+	simWall := time.Since(simStart)
 	if err != nil {
 		return nil, r.quarantine(k, bench, err)
 	}
@@ -294,6 +319,46 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 			}
 		}
 	}
+	if r.Archive != nil {
+		man := runstore.New(bench, r.Scale, cfg, res)
+		man.Tool = r.ArchiveTool
+		if man.Tool == "" {
+			man.Tool = "harness"
+		}
+		man.GitRev = r.ArchiveRev
+		man.WallSeconds = simWall.Seconds()
+		man.Workers = simWorkers
+		if r.Chaos.Enabled() {
+			man.Seed = r.Chaos.Seed
+		}
+		if r.Telemetry != nil {
+			man.RunID = r.Telemetry.ID
+			if dir := r.Telemetry.Dir(); dir != "" {
+				man.Artifacts = map[string]string{"spans": filepath.Join(dir, "spans.jsonl")}
+			}
+		}
+		if col != nil && r.MetricsDir != "" {
+			if man.Artifacts == nil {
+				man.Artifacts = map[string]string{}
+			}
+			man.Artifacts["metrics"] = filepath.Join(r.MetricsDir, exportName(bench, k, ".json"))
+		}
+		if rep != nil && r.AttribDir != "" {
+			if man.Artifacts == nil {
+				man.Artifacts = map[string]string{}
+			}
+			man.Artifacts["attrib"] = filepath.Join(r.AttribDir, exportName(bench, k, ".attrib.json"))
+		}
+		if rep != nil {
+			man.Attrib = runstore.SummarizeAttrib(rep)
+		}
+		err := r.retryIO("harness.archive", cell, func() error {
+			return classifyIO("harness.archive", r.Archive.Put(man))
+		})
+		if err != nil {
+			return nil, r.quarantine(k, bench, err)
+		}
+	}
 	if r.Ledger != nil {
 		err := r.retryIO("harness.ledger", cell, func() error { return r.Ledger.Append(k, res) })
 		if err != nil {
@@ -320,14 +385,16 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 	return res, nil
 }
 
-// writeMetrics exports one run's collector as JSON under MetricsDir. The
-// file name is the benchmark plus a short hash of the full machine
-// configuration, so sweep points do not collide.
+// exportName names a per-cell export file: the benchmark plus the short
+// memo-key hash (so sweep points do not collide) plus a suffix. The same
+// tag appears in ledger keys, telemetry spans, and archive manifests.
+func exportName(bench, key, suffix string) string {
+	return bench + "-" + shortKey(key) + suffix
+}
+
+// writeMetrics exports one run's collector as JSON under MetricsDir.
 func (r *Runner) writeMetrics(bench, key string, col *metrics.Collector, cycles uint64) error {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	name := fmt.Sprintf("%s-%08x.json", bench, h.Sum32())
-	f, err := os.Create(filepath.Join(r.MetricsDir, name))
+	f, err := os.Create(filepath.Join(r.MetricsDir, exportName(bench, key, ".json")))
 	if err != nil {
 		return fmt.Errorf("harness: metrics export: %w", err)
 	}
@@ -363,10 +430,7 @@ func (r *Runner) AttribReport(bench string, cfg sta.Config) (*attrib.Report, err
 // writeAttrib exports one run's attribution report as JSON under AttribDir,
 // named like writeMetrics output with an .attrib.json suffix.
 func (r *Runner) writeAttrib(bench, key string, rep *attrib.Report) error {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	name := fmt.Sprintf("%s-%08x.attrib.json", bench, h.Sum32())
-	f, err := os.Create(filepath.Join(r.AttribDir, name))
+	f, err := os.Create(filepath.Join(r.AttribDir, exportName(bench, key, ".attrib.json")))
 	if err != nil {
 		return fmt.Errorf("harness: attrib export: %w", err)
 	}
@@ -384,6 +448,9 @@ func (r *Runner) writeAttrib(bench, key string, rep *attrib.Report) error {
 func (r *Runner) batch(jobs []job) error {
 	if r.Telemetry != nil && r.Ledger != nil && r.Telemetry.LedgerPath() == "" {
 		r.Telemetry.SetLedger(r.Ledger.Path())
+	}
+	if r.Telemetry != nil && r.Archive != nil && r.Telemetry.ArchivePath() == "" {
+		r.Telemetry.SetArchive(r.Archive.Root())
 	}
 	workers := r.Workers
 	if workers <= 0 {

@@ -1,0 +1,169 @@
+package runstore
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// A Selector filters archived manifests. The textual form is a
+// comma-separated list of k=v terms:
+//
+//	config=wth-wp-wec,tus=8,side=16
+//	bench=mcf,hash=c3f2
+//	run=20260809-101500-1a2b3c4d
+//
+// Keys: bench, config, tus, scale, side (entries), sidekind, l1 (KB),
+// assoc, l2 (KB), memlat, hash (CfgHash prefix, with or without the 'c'),
+// run (telemetry run ID), tool, key (substring of the memo key). A bare
+// term with no '=' matches a configuration name first, then a CfgHash
+// prefix.
+type Selector struct {
+	terms []func(*Manifest) bool
+	// Expr is the original textual form, for error messages and reports.
+	Expr string
+}
+
+// ParseSelector compiles the textual selector form.
+func ParseSelector(expr string) (*Selector, error) {
+	s := &Selector{Expr: expr}
+	for _, raw := range strings.Split(expr, ",") {
+		term := strings.TrimSpace(raw)
+		if term == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(term, "=")
+		if !ok {
+			v := term
+			s.terms = append(s.terms, func(m *Manifest) bool {
+				return m.Config == v || strings.HasPrefix(m.CfgHash, v) ||
+					strings.HasPrefix(m.CfgHash, "c"+v)
+			})
+			continue
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		intTerm := func(get func(*Manifest) int) (func(*Manifest) bool, error) {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("runstore: selector %s=%s: %v", k, v, err)
+			}
+			return func(m *Manifest) bool { return get(m) == n }, nil
+		}
+		var t func(*Manifest) bool
+		var err error
+		switch k {
+		case "bench":
+			t = func(m *Manifest) bool { return m.Bench == v }
+		case "config":
+			t = func(m *Manifest) bool { return m.Config == v }
+		case "tus":
+			t, err = intTerm(func(m *Manifest) int { return m.TUs })
+		case "scale":
+			t, err = intTerm(func(m *Manifest) int { return m.Scale })
+		case "side":
+			t, err = intTerm(func(m *Manifest) int { return m.SideEntries })
+		case "sidekind":
+			t = func(m *Manifest) bool { return m.SideKind == v }
+		case "l1":
+			t, err = intTerm(func(m *Manifest) int { return m.L1KB })
+		case "assoc":
+			t, err = intTerm(func(m *Manifest) int { return m.L1Assoc })
+		case "l2":
+			t, err = intTerm(func(m *Manifest) int { return m.L2KB })
+		case "memlat":
+			t, err = intTerm(func(m *Manifest) int { return m.MemLat })
+		case "hash":
+			t = func(m *Manifest) bool {
+				return strings.HasPrefix(m.CfgHash, v) || strings.HasPrefix(m.CfgHash, "c"+v)
+			}
+		case "run":
+			t = func(m *Manifest) bool { return m.RunID == v }
+		case "tool":
+			t = func(m *Manifest) bool { return m.Tool == v }
+		case "key":
+			t = func(m *Manifest) bool { return strings.Contains(m.MemoKey, v) }
+		default:
+			return nil, fmt.Errorf("runstore: unknown selector key %q (want bench, config, tus, scale, side, sidekind, l1, assoc, l2, memlat, hash, run, tool, key)", k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.terms = append(s.terms, t)
+	}
+	return s, nil
+}
+
+// Match reports whether every term accepts the manifest.
+func (s *Selector) Match(m *Manifest) bool {
+	for _, t := range s.terms {
+		if !t(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns the manifests matching the selector, in All() order.
+func Select(ms []*Manifest, s *Selector) []*Manifest {
+	var out []*Manifest
+	for _, m := range ms {
+		if s.Match(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Grep returns manifests whose memo key, cell key, config name, run ID, or
+// git revision matches the regular expression.
+func Grep(ms []*Manifest, re *regexp.Regexp) []*Manifest {
+	var out []*Manifest
+	for _, m := range ms {
+		if re.MatchString(m.MemoKey) || re.MatchString(m.CellKey) ||
+			re.MatchString(m.Config) || re.MatchString(m.RunID) || re.MatchString(m.GitRev) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PairByBench pairs two manifest sets by benchmark (and scale): each side
+// must contribute at most one manifest per (bench, scale), and a pair
+// forms when both sides have one. An ambiguous side — two manifests for
+// the same (bench, scale), i.e. a selector that still spans multiple
+// configurations — is an error naming the colliding cells.
+func PairByBench(a, b []*Manifest) ([][2]*Manifest, error) {
+	index := func(ms []*Manifest, side string) (map[string]*Manifest, error) {
+		idx := make(map[string]*Manifest, len(ms))
+		for _, m := range ms {
+			k := fmt.Sprintf("%s-s%d", m.Bench, m.Scale)
+			if prev, dup := idx[k]; dup {
+				return nil, fmt.Errorf("runstore: selector %s is ambiguous: both %s and %s match %s (narrow it, e.g. add side=/tus=/hash=)",
+					side, prev.CellKey, m.CellKey, k)
+			}
+			idx[k] = m
+		}
+		return idx, nil
+	}
+	ia, err := index(a, "A")
+	if err != nil {
+		return nil, err
+	}
+	ib, err := index(b, "B")
+	if err != nil {
+		return nil, err
+	}
+	var pairs [][2]*Manifest
+	for _, ma := range a { // a's deterministic order
+		k := fmt.Sprintf("%s-s%d", ma.Bench, ma.Scale)
+		if mb, ok := ib[k]; ok {
+			pairs = append(pairs, [2]*Manifest{ma, mb})
+		}
+	}
+	_ = ia
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("runstore: no common (bench, scale) cells between the two selections (%d vs %d manifests)", len(a), len(b))
+	}
+	return pairs, nil
+}

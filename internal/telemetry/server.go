@@ -1,12 +1,15 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"syscall"
 	"time"
 )
 
@@ -20,11 +23,19 @@ type httpServer struct {
 	run *Run
 	srv *http.Server
 	ln  net.Listener
+
+	// testRunsBarrier, when set (tests only, before any request), runs
+	// inside handleRuns before the response body is written — it lets the
+	// lifecycle test hold a request in flight across close().
+	testRunsBarrier func()
 }
 
 func newHTTPServer(r *Run, addr string) (*httpServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if errors.Is(err, syscall.EADDRINUSE) {
+			return nil, fmt.Errorf("telemetry: listen %s: %w (another run is already serving there — pass a different address, or \":0\" to pick a free port)", addr, err)
+		}
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	s := &httpServer{run: r, ln: ln}
@@ -44,9 +55,19 @@ func newHTTPServer(r *Run, addr string) (*httpServer, error) {
 
 func (s *httpServer) addr() string { return s.ln.Addr().String() }
 
+// close shuts the server down gracefully: the listener stops accepting
+// immediately, but in-flight handlers (a scraper mid-/runs, a pprof
+// profile) get up to drainTimeout to finish before the hard close.
 func (s *httpServer) close() {
-	s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+	}
 }
+
+// drainTimeout bounds how long close waits for in-flight requests.
+var drainTimeout = 2 * time.Second
 
 func (s *httpServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -78,6 +99,7 @@ type runsDoc struct {
 	Done          uint64     `json:"done"`
 	Failed        uint64     `json:"failed"`
 	Ledger        string     `json:"ledger,omitempty"`
+	Archive       string     `json:"archive,omitempty"`
 }
 
 func (s *httpServer) handleRuns(w http.ResponseWriter, _ *http.Request) {
@@ -91,6 +113,7 @@ func (s *httpServer) handleRuns(w http.ResponseWriter, _ *http.Request) {
 		Done:          r.cellsDone,
 		Failed:        r.cellsFailed,
 		Ledger:        r.ledgerPath,
+		Archive:       r.archiveRoot,
 	}
 	if r.suite != nil {
 		suite := *r.suite
@@ -119,6 +142,9 @@ func (s *httpServer) handleRuns(w http.ResponseWriter, _ *http.Request) {
 	sort.Slice(doc.Cells, func(i, j int) bool { return doc.Cells[i].Span.ID < doc.Cells[j].Span.ID })
 	if doc.Cells == nil {
 		doc.Cells = []runsCell{}
+	}
+	if s.testRunsBarrier != nil {
+		s.testRunsBarrier()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

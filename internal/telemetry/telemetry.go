@@ -84,6 +84,7 @@ type Run struct {
 	faults      uint64
 
 	ledgerPath    string
+	archiveRoot   string
 	ledgerAppends uint64
 	lastLedger    time.Time
 
@@ -195,6 +196,21 @@ func (r *Run) LedgerPath() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.ledgerPath
+}
+
+// SetArchive records the run-archive root so /runs and failure messages
+// can point readers at the archived manifests.
+func (r *Run) SetArchive(root string) {
+	r.mu.Lock()
+	r.archiveRoot = root
+	r.mu.Unlock()
+}
+
+// ArchivePath returns the recorded archive root ("" when none).
+func (r *Run) ArchivePath() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.archiveRoot
 }
 
 // NoteLedgerAppend records one successful ledger append (drives the

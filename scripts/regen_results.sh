@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regenerate results_all.txt — the checked-in raw output of
+# `go run ./cmd/experiments -run all` that EXPERIMENTS.md quotes — and
+# assert the simulator still reproduces it bit-for-bit, modulo the one
+# nondeterministic part: the per-experiment wall-clock suffix
+# ("(fig8 in 3.0s)" -> "(fig8)" after normalization).
+#
+# Usage:
+#   scripts/regen_results.sh           # check: fail if tables drifted
+#   scripts/regen_results.sh -update   # rewrite results_all.txt in place
+set -euo pipefail
+
+mode=check
+if [[ "${1:-}" == "-update" || "${1:-}" == "--update" ]]; then
+    mode=update
+fi
+
+cd "$(dirname "$0")/.."
+committed=results_all.txt
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/experiments" ./cmd/experiments
+"$work/experiments" -run all > "$work/fresh.txt"
+
+# The timing suffix is the only field allowed to differ between runs.
+normalize() { sed -E 's/^\((.+) in [0-9.]+s\)$/(\1)/' "$1"; }
+
+if [[ "$mode" == "update" ]]; then
+    cp "$work/fresh.txt" "$committed"
+    echo "updated $committed ($(grep -c '' "$committed") lines)"
+    exit 0
+fi
+
+if [[ ! -f "$committed" ]]; then
+    echo "FAIL: $committed is missing — run scripts/regen_results.sh -update" >&2
+    exit 1
+fi
+
+normalize "$committed" > "$work/committed.norm"
+normalize "$work/fresh.txt" > "$work/fresh.norm"
+
+if ! cmp -s "$work/committed.norm" "$work/fresh.norm"; then
+    echo "FAIL: regenerated tables differ from the committed $committed" >&2
+    echo "      (diff below; if the change is intended, run scripts/regen_results.sh -update)" >&2
+    diff "$work/committed.norm" "$work/fresh.norm" >&2 || true
+    exit 1
+fi
+echo "PASS: regenerated tables are bit-identical to $committed (modulo timing)"
