@@ -30,6 +30,13 @@
 //
 //	experiments -run fig11 -archive runs/
 //	simql list -root runs/
+//
+// Workload synthesis (see README "Workload synthesis"): -run wgen drives
+// the coverage-guided generator through the harness; every synthesized
+// cell memoizes, journals, and archives under its genome-hash bench name:
+//
+//	experiments -run wgen -wgen-seed 7 -wgen-count 200 -wgen-corpus corpus/
+//	experiments -run wgen -wgen-genome corpus/g0123456789abcdef.wgen
 package main
 
 import (
@@ -77,6 +84,11 @@ func run() int {
 		ledgerPath = flag.String("ledger", "", "journal completed simulations to this JSONL file")
 		resume     = flag.Bool("resume", false, "preload journaled results from -ledger before running")
 		archiveDir = flag.String("archive", "", "archive one manifest per completed cell into this content-addressed run archive (query with simql)")
+
+		wgenSeed   = flag.Uint64("wgen-seed", 1, "search seed for -run wgen (fixes the whole synthesis trajectory)")
+		wgenCount  = flag.Int("wgen-count", 200, "generated programs per -run wgen invocation")
+		wgenGenome = flag.String("wgen-genome", "", "run one synthesized workload (canonical line or .wgen file) instead of the search")
+		wgenCorpus = flag.String("wgen-corpus", "", "write coverage-adding (and any failing) genomes into this directory")
 
 		chaosSeed     = flag.Uint64("chaos-seed", 0, "seed for the deterministic fault injector")
 		chaosPanic    = flag.Float64("chaos-panic", 0, "per-cycle machine-step panic probability")
@@ -198,6 +210,15 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "resume: preloaded %d journaled results from %s\n", len(prior), *ledgerPath)
 			}
 		}
+	}
+
+	if *runID == "wgen" {
+		return runWgen(r, wgenOptions{
+			seed:   *wgenSeed,
+			count:  *wgenCount,
+			genome: *wgenGenome,
+			corpus: *wgenCorpus,
+		})
 	}
 
 	exps := harness.All()

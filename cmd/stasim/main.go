@@ -25,6 +25,12 @@
 //
 //	stasim -bench mcf -config wth-wp-wec -archive runs/
 //	simql list -root runs/
+//
+// Workload synthesis (see README "Workload synthesis"):
+//
+//	stasim -wgen-seed 7 -config wth-wp-wec
+//	stasim -wgen-genome corpus/g0123456789abcdef.wgen -config wth-wp-wec -attrib
+//	stasim -wgen-genome 'wgen1 seed=0x0000000000000007 win=2x8 ...'
 package main
 
 import (
@@ -50,6 +56,7 @@ import (
 	"repro/internal/sta"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/wgen"
 	"repro/internal/workload"
 )
 
@@ -64,6 +71,10 @@ func main() {
 		l1way   = flag.Int("assoc", 1, "L1 data cache associativity")
 		l2kb    = flag.Int("l2", 64, "shared L2 size in KB")
 		file    = flag.String("file", "", "assemble and run a .sta source file instead of a benchmark")
+
+		wgenGenome = flag.String("wgen-genome", "", "run a synthesized workload: a canonical genome line ('wgen1 seed=... ...') or a .wgen file")
+		wgenSeed   = flag.Uint64("wgen-seed", 0, "synthesize and run the deterministic random genome for this seed (overridden by -wgen-genome)")
+
 		disasm  = flag.Bool("disasm", false, "print the program listing instead of simulating")
 		doTrace = flag.Bool("trace", false, "stream thread-lifecycle events to stderr")
 		list    = flag.Bool("list", false, "list benchmarks and configurations")
@@ -111,9 +122,31 @@ func main() {
 		return
 	}
 
+	wgenSeedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "wgen-seed" {
+			wgenSeedSet = true
+		}
+	})
+
 	var prog *isa.Program
 	title := *bench
-	if *file != "" {
+	if *wgenGenome != "" || wgenSeedSet {
+		var g wgen.Genome
+		var err error
+		if *wgenGenome != "" {
+			g, err = wgen.Load(*wgenGenome)
+			fatal(err)
+		} else {
+			g = wgen.Random(*wgenSeed)
+		}
+		prog, err = g.Program()
+		fatal(err)
+		// The bench name embeds the genome hash, so -archive manifests of
+		// generated runs are greppable by genome (simql grep <hash>).
+		*bench = g.BenchName()
+		title = fmt.Sprintf("%s [%s]", g.BenchName(), g.Canonical())
+	} else if *file != "" {
 		src, err := os.ReadFile(*file)
 		fatal(err)
 		prog, err = asm.Parse(string(src))

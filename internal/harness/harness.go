@@ -130,6 +130,18 @@ func NewRunner(scale int) *Runner {
 // Benches returns the benchmark list in the paper's order.
 func Benches() []*workload.Workload { return workload.All() }
 
+// RegisterProgram installs a pre-built program under a bench name, giving
+// it the exact cell lifecycle of a hand-written workload: memoization,
+// reference interpretation, ledger journaling, and archive manifests. This
+// is how synthesized workloads (wgen) enter the harness — their bench name
+// embeds the genome hash, so the memo keys, ledger entries, and manifests
+// of generated cells are greppable by genome.
+func (r *Runner) RegisterProgram(bench string, p *isa.Program) {
+	r.mu.Lock()
+	r.progs[bench] = p
+	r.mu.Unlock()
+}
+
 // program builds (and caches) a benchmark binary.
 func (r *Runner) program(bench string) (*isa.Program, error) {
 	r.mu.Lock()

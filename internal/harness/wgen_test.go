@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/runstore"
+	"repro/internal/simerr"
+	"repro/internal/wgen"
+)
+
+// TestWgenCellThroughHarness: a generated program registered under its
+// genome-hash bench name gets the full cell lifecycle — memoized result,
+// ledger journal entry, and archive manifest — and the genome hash is
+// recoverable from every one of those identities.
+func TestWgenCellThroughHarness(t *testing.T) {
+	g := wgen.Random(0xBEEF)
+	p, err := g.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := g.BenchName()
+	cfg := smallCfg(t)
+
+	dir := t.TempDir()
+	led, _, err := OpenLedger(filepath.Join(dir, "ledger.jsonl"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := runstore.Open(filepath.Join(dir, "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	r := NewRunner(1)
+	r.RegisterProgram(bench, p)
+	r.Ledger = led
+	r.Archive = st
+	res, err := r.Result(bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The memo key embeds the genome hash.
+	k := MemoKey(bench, cfg)
+	if !strings.Contains(k, g.Hash()) {
+		t.Errorf("memo key %q does not embed genome hash %s", k, g.Hash())
+	}
+	// The ledger journaled the cell under that key.
+	raw, err := os.ReadFile(filepath.Join(dir, "ledger.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), g.Hash()) {
+		t.Errorf("ledger does not mention genome hash %s", g.Hash())
+	}
+	// The archive manifest names the bench and carries the result counters.
+	if st.Len() != 1 {
+		t.Fatalf("archive has %d manifests, want 1", st.Len())
+	}
+	man := st.All()[0]
+	if man.Bench != bench {
+		t.Errorf("manifest bench %q, want %q", man.Bench, bench)
+	}
+	if man.Stats != res.Stats || man.MemCheck != res.MemCheck {
+		t.Error("manifest counters diverge from the result")
+	}
+
+	// Memoized re-request: same pointer, no new manifest.
+	res2, err := r.Result(bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Error("second request was not memoized")
+	}
+	if st.Len() != 1 {
+		t.Errorf("memoized re-request grew the archive to %d", st.Len())
+	}
+}
+
+// TestWgenCellDeterministicAcrossRunners: the same genome on two fresh
+// runners (zero chaos) produces bit-identical counters and memory
+// checksums — generated cells obey the same reproducibility contract as
+// hand-written benches.
+func TestWgenCellDeterministicAcrossRunners(t *testing.T) {
+	g := wgen.Random(0x5EED)
+	p, err := g.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(t)
+	run := func() (uint64, uint64) {
+		r := NewRunner(1)
+		r.RegisterProgram(g.BenchName(), p)
+		res, err := r.Result(g.BenchName(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles, res.MemCheck
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 != c2 || m1 != m2 {
+		t.Fatalf("generated cell not reproducible: (%d,%#x) vs (%d,%#x)", c1, m1, c2, m2)
+	}
+}
+
+// TestWgenCellUnderChaos: a generated cell driven into a certain panic is
+// quarantined like any other cell — the fault surfaces as a classified
+// simulator error, not a process crash, and later lookups fail fast.
+func TestWgenCellUnderChaos(t *testing.T) {
+	g := wgen.Random(0xC4A05)
+	p, err := g.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(1)
+	r.RegisterProgram(g.BenchName(), p)
+	r.Chaos = chaos.Config{Seed: 7, MachinePanic: 1}
+	_, err = r.Result(g.BenchName(), smallCfg(t))
+	if err == nil {
+		t.Fatal("certain-panic chaos produced no error")
+	}
+	if simerr.KindOf(err) != simerr.Panic {
+		t.Fatalf("chaos fault not classified as panic: %v", err)
+	}
+	// Quarantined: the second lookup fails fast with the same cell identity.
+	if _, err2 := r.Result(g.BenchName(), smallCfg(t)); err2 == nil {
+		t.Fatal("quarantined cell returned a result")
+	}
+}

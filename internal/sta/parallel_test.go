@@ -12,6 +12,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/simerr"
+	"repro/internal/wgen"
 	"repro/internal/workload"
 )
 
@@ -90,12 +91,29 @@ func TestParallelEquivalenceMatrix(t *testing.T) {
 	if raceMode || testing.Short() {
 		benches = benches[:2] // race detector slowdown: trim the matrix
 	}
+	type matrixCase struct {
+		name string
+		prog *isa.Program
+	}
+	var cases []matrixCase
 	for _, w := range benches {
 		p, err := w.Build(1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Run(w.Short, func(t *testing.T) {
+		cases = append(cases, matrixCase{w.Short, p})
+	}
+	// One synthesized workload rides the same net: generated programs must
+	// hold the bit-identical parallel-stepping guarantee too.
+	gw := wgen.Random(0xC0FFEE)
+	gp, err := gw.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, matrixCase{"wgen", gp})
+	for _, c := range cases {
+		p := c.prog
+		t.Run(c.name, func(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.MaxCycles = 20_000_000
 			cfg.WrongThreadExec = true
@@ -103,9 +121,9 @@ func TestParallelEquivalenceMatrix(t *testing.T) {
 			cfg.Mem.Side = mem.SideWEC
 			for _, skip := range []bool{true, false} {
 				for _, observe := range []bool{false, true} {
-					ref := runParMode(t, cfg, p,parModes()[0], skip, observe)
+					ref := runParMode(t, cfg, p, parModes()[0], skip, observe)
 					for _, mode := range parModes()[1:] {
-						got := runParMode(t, cfg, p,mode, skip, observe)
+						got := runParMode(t, cfg, p, mode, skip, observe)
 						tag := fmt.Sprintf("%s skip=%v obs=%v", mode.name, skip, observe)
 						if got.res.Stats != ref.res.Stats {
 							t.Errorf("%s: stats diverge\nseq: %+v\npar: %+v", tag, ref.res.Stats, got.res.Stats)

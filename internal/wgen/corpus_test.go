@@ -1,0 +1,71 @@
+package wgen_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/wgen"
+)
+
+// The committed seed corpus: coverage-adding genomes archived from a fixed
+// coverage-guided search run. Each file is named by its genome hash and
+// holds the canonical line (replayable with `stasim -wgen-genome`) plus a
+// comment recording the coverage it added when discovered. Regenerate with
+// `go test ./internal/wgen -run TestSeedCorpusCommitted -update-corpus`.
+const corpusDir = "testdata/corpus"
+
+var updateCorpus = flag.Bool("update-corpus", false, "regenerate the committed wgen seed corpus")
+
+func TestSeedCorpusCommitted(t *testing.T) {
+	if *updateCorpus {
+		s := wgen.NewSearch(7, simRunner(t))
+		if err := os.RemoveAll(corpusDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 80; i++ {
+			res, err := s.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Kept {
+				continue
+			}
+			g := res.Genome
+			body := fmt.Sprintf("%s\n; step %d: +%d buckets (total %d)\n",
+				g.Canonical(), i, res.New, res.Coverage)
+			path := filepath.Join(corpusDir, g.Hash()+".wgen")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.wgen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("committed corpus has %d genomes, want at least 10 (run with -update)", len(files))
+	}
+	for _, path := range files {
+		g, err := wgen.Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		want := strings.TrimSuffix(filepath.Base(path), ".wgen")
+		if g.Hash() != want {
+			t.Errorf("%s: content hashes to %s", path, g.Hash())
+		}
+		if _, err := g.Program(); err != nil {
+			t.Errorf("%s: expansion invalid: %v", path, err)
+		}
+	}
+}

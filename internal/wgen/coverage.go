@@ -1,0 +1,258 @@
+package wgen
+
+import (
+	"sort"
+
+	"repro/internal/attrib"
+	"repro/internal/stats"
+)
+
+// The coverage signal. A run's behavior signature is the set of buckets it
+// lands in across a fixed set of dimensions derived from the simulator's
+// own counter registries (stats.Sim) and the fill-attribution report
+// (attrib.Report): L1/L2 miss-rate bins, branch-accuracy bins, parallel
+// fraction and TU-occupancy bins, WEC hit/insert/promotion bins, wrong-load
+// mix, prefetch bins, fork density, and per-origin fill-class flags — plus
+// cross-dimension combination buckets (miss rate × branch accuracy,
+// occupancy × WEC activity) that only joint extremes reach. Coverage is the
+// union of signatures over a corpus; the guided search mutates genomes
+// toward dimensions whose bucket sets are not yet saturated.
+
+// Bucket edges. Each dimension quantizes a ratio into len(edges)+1 bins;
+// bin(x) is the number of edges strictly below x.
+var (
+	missEdges  = []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.35, 0.60}
+	braccEdges = []float64{0.70, 0.85, 0.93, 0.97, 0.99}
+	fracEdges  = []float64{0.10, 0.30, 0.50, 0.70, 0.90}
+	occEdges   = []float64{1.2, 2, 3, 4.5, 6}
+	wecEdges   = []float64{0.001, 0.05, 0.15, 0.30}
+	rateEdges  = []float64{0.5, 2, 8, 32} // events per 1K commits
+)
+
+func bin(x float64, edges []float64) int {
+	n := 0
+	for _, e := range edges {
+		if x > e {
+			n++
+		}
+	}
+	return n
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Dimensions reports every coverage dimension with its bucket capacity, in
+// deterministic order. The guided search uses the capacities to decide
+// which dimensions are saturated; tests use it as the universe bound.
+func Dimensions() []Dimension {
+	return []Dimension{
+		{"l1miss", len(missEdges) + 1, []string{"ws", "chase", "stream", "probe"}},
+		{"l2miss", len(missEdges) + 1, []string{"ws", "chase", "probe"}},
+		{"bracc", len(braccEdges) + 1, []string{"br", "scan"}},
+		{"parfrac", len(fracEdges) + 1, []string{"par", "win"}},
+		{"tuocc", len(occEdges) + 1, []string{"win", "par", "chain"}},
+		{"wec", len(wecEdges) + 1, []string{"br", "scan", "chase", "ws"}},
+		{"wloadmix", 4, []string{"br", "scan", "chain", "win"}},
+		{"pref", len(rateEdges) + 1, []string{"chase", "stream", "ws"}},
+		{"forks", len(rateEdges) + 1, []string{"win", "par"}},
+		{"wth", 2, []string{"chain", "win"}},
+		{"fill", 15, []string{"br", "scan", "store", "chase", "ws"}},
+		{"l1miss*bracc", (len(missEdges) + 1) * (len(braccEdges) + 1), []string{"ws", "chase", "br", "scan"}},
+		{"tuocc*wec", (len(occEdges) + 1) * (len(wecEdges) + 1), []string{"win", "par", "br", "chase"}},
+	}
+}
+
+// Dimension describes one axis of the behavior-coverage signal.
+type Dimension struct {
+	Name  string
+	Bins  int      // bucket capacity: saturated when this many are seen
+	Knobs []string // canonical-field names of the genome knobs that steer it
+}
+
+// Buckets computes the behavior signature of one run: the sorted list of
+// "<dim>:<bin>" bucket names the run occupies. It is a pure function of the
+// final counters, so a deterministic simulation yields a deterministic
+// signature on every machine shape that produces the same counters.
+func Buckets(s *stats.Sim, rep *attrib.Report) []string {
+	var out []string
+	add := func(dim string, b int) { out = append(out, dim+":"+itoa(b)) }
+
+	l1 := bin(s.L1DMissRate(), missEdges)
+	add("l1miss", l1)
+	add("l2miss", bin(ratio(s.L2Misses, s.L2Accesses), missEdges))
+	ba := bin(s.BranchAccuracy(), braccEdges)
+	add("bracc", ba)
+	add("parfrac", bin(ratio(s.ParCycles, s.Cycles), fracEdges))
+	occ := bin(ratio(s.ParCommits, s.ParCycles), occEdges)
+	add("tuocc", occ)
+	wec := bin(ratio(s.WECHits, s.L1DMisses+s.WECHits), wecEdges)
+	add("wec", wec)
+
+	// Wrong-load mix: which speculative load source dominates.
+	switch {
+	case s.WrongLoads == 0:
+		add("wloadmix", 0)
+	case s.WrongThLoads == 0:
+		add("wloadmix", 1) // pure wrong-path
+	case s.WrongPathLoads == 0:
+		add("wloadmix", 2) // pure wrong-thread
+	default:
+		add("wloadmix", 3)
+	}
+
+	add("pref", bin(1000*ratio(s.PrefIssued, s.Commits), rateEdges))
+	add("forks", bin(1000*ratio(s.Forks, s.Commits), rateEdges))
+	if s.WrongThreads > 0 {
+		add("wth", 1)
+	} else {
+		add("wth", 0)
+	}
+
+	// Per-origin fill classes from the attribution report: one bucket per
+	// (origin, class) pair that occurred at all.
+	if rep != nil {
+		origin := func(base int, c attrib.OriginCounts) {
+			if c.WrongPath > 0 {
+				add("fill", base)
+			}
+			if c.WrongThread > 0 {
+				add("fill", base+1)
+			}
+			if c.Prefetch > 0 {
+				add("fill", base+2)
+			}
+		}
+		origin(0, rep.Useful)
+		origin(3, rep.Late)
+		origin(6, rep.Useless)
+		origin(9, rep.Polluting)
+		if rep.VictimHits > 0 {
+			add("fill", 12)
+		}
+		if rep.Resident.Total() > 0 {
+			add("fill", 13)
+		}
+		if rep.SpecFills.Total() > 0 {
+			add("fill", 14)
+		}
+	}
+
+	// Combination buckets: joint extremes that single dimensions cannot
+	// witness — these are what separates guided search from uniform random.
+	add("l1miss*bracc", l1*(len(braccEdges)+1)+ba)
+	add("tuocc*wec", occ*(len(wecEdges)+1)+wec)
+
+	sort.Strings(out)
+	return out
+}
+
+// itoa is strconv.Itoa for the tiny non-negative ints bucket names use,
+// kept local so the hot signature path allocates nothing extra.
+func itoa(v int) string {
+	if v < 10 {
+		return string([]byte{byte('0' + v)})
+	}
+	return string([]byte{byte('0' + v/10), byte('0' + v%10)})
+}
+
+// Coverage accumulates the union of behavior signatures over many runs.
+type Coverage struct {
+	seen     map[string]bool
+	perDim   map[string]int          // dimension -> distinct buckets seen
+	binsSeen map[string]map[int]bool // dimension -> set of bin indices seen
+}
+
+// NewCoverage returns an empty coverage accumulator.
+func NewCoverage() *Coverage {
+	return &Coverage{
+		seen:     make(map[string]bool),
+		perDim:   make(map[string]int),
+		binsSeen: make(map[string]map[int]bool),
+	}
+}
+
+// Add merges a signature and returns how many buckets were new.
+func (c *Coverage) Add(sig []string) int {
+	fresh := 0
+	for _, b := range sig {
+		if c.seen[b] {
+			continue
+		}
+		c.seen[b] = true
+		fresh++
+		if dim, bin, ok := splitBucket(b); ok {
+			c.perDim[dim]++
+			if c.binsSeen[dim] == nil {
+				c.binsSeen[dim] = make(map[int]bool)
+			}
+			c.binsSeen[dim][bin] = true
+		}
+	}
+	return fresh
+}
+
+// splitBucket parses "dim:bin" into its parts.
+func splitBucket(b string) (string, int, bool) {
+	i := indexByte(b, ':')
+	if i <= 0 {
+		return "", 0, false
+	}
+	bin := 0
+	for _, ch := range []byte(b[i+1:]) {
+		if ch < '0' || ch > '9' {
+			return "", 0, false
+		}
+		bin = bin*10 + int(ch-'0')
+	}
+	return b[:i], bin, true
+}
+
+// MissingBins lists the bin indices of dim not yet covered, ascending.
+func (c *Coverage) MissingBins(d Dimension) []int {
+	var out []int
+	for b := 0; b < d.Bins; b++ {
+		if !c.binsSeen[d.Name][b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func indexByte(s string, ch byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ch {
+			return i
+		}
+	}
+	return -1
+}
+
+// Count returns the total number of distinct buckets covered.
+func (c *Coverage) Count() int { return len(c.seen) }
+
+// Buckets returns the covered bucket names, sorted.
+func (c *Coverage) Buckets() []string {
+	out := make([]string, 0, len(c.seen))
+	for b := range c.seen {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unsaturated returns the dimensions whose seen-bucket count is still below
+// capacity, in deterministic order — the mutation targets.
+func (c *Coverage) Unsaturated() []Dimension {
+	var out []Dimension
+	for _, d := range Dimensions() {
+		if c.perDim[d.Name] < d.Bins {
+			out = append(out, d)
+		}
+	}
+	return out
+}

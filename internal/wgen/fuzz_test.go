@@ -1,0 +1,102 @@
+package wgen_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/sta"
+	"repro/internal/wgen"
+)
+
+// FuzzWgen drives arbitrary bytes through the full generated-workload
+// pipeline: bytes → genome (FromBytes folds anything into the valid knob
+// space) → .sta text → parsed program → instruction encode/decode
+// round-trip → bounded interpreter-vs-simulator differential. Every stage
+// must hold for EVERY byte string — the generator's contract is that no
+// genome, however degenerate, produces an invalid or divergent program.
+func FuzzWgen(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 77, 424242, 0xBEEF, 0x5EED} {
+		f.Add(wgen.Random(seed).Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := wgen.FromBytes(data)
+
+		// Identity round-trips: canonical line and byte form both rebuild
+		// the same genome, and the hash is stable across them.
+		if got := wgen.FromBytes(g.Bytes()); got != g {
+			t.Fatalf("Bytes round-trip mutated the genome: %+v -> %+v", g, got)
+		}
+		g2, err := wgen.ParseGenome(g.Canonical())
+		if err != nil {
+			t.Fatalf("canonical line unparseable: %v\n%s", err, g.Canonical())
+		}
+		if g2 != g || g2.Hash() != g.Hash() {
+			t.Fatalf("canonical round-trip mutated the genome:\n%s\n%s", g.Canonical(), g2.Canonical())
+		}
+
+		// Expansion must parse, and the binary encoding must round-trip.
+		p, err := g.Program()
+		if err != nil {
+			t.Fatalf("generated program invalid: %v\n%s", err, g.Canonical())
+		}
+		insts, err := isa.DecodeProgram(isa.EncodeProgram(p))
+		if err != nil {
+			t.Fatalf("encode/decode failed: %v\n%s", err, g.Canonical())
+		}
+		if len(insts) != len(p.Insts) {
+			t.Fatalf("encode/decode changed length %d -> %d", len(p.Insts), len(insts))
+		}
+		for i := range insts {
+			if insts[i] != p.Insts[i] {
+				t.Fatalf("inst %d changed across encode/decode: %+v -> %+v", i, p.Insts[i], insts[i])
+			}
+		}
+
+		// Short differential: the simulator must reproduce the functional
+		// interpreter's memory image and integer register file. The fuzzed
+		// knobs feed a size-bounded variant — iteration count and working
+		// set capped so each exec stays in the low milliseconds; the
+		// 500-genome soak covers full-size programs.
+		gd := g
+		if gd.Windows > 2 {
+			gd.Windows = 2
+		}
+		if gd.Window > 4 {
+			gd.Window = 4
+		}
+		if gd.WSLog > 11 {
+			gd.WSLog = 11
+		}
+		gd, err = wgen.ParseGenome(gd.Canonical()) // re-normalize the clamp
+		if err != nil {
+			t.Fatalf("clamped genome unparseable: %v", err)
+		}
+		pd, err := gd.Program()
+		if err != nil {
+			t.Fatalf("clamped program invalid: %v\n%s", err, gd.Canonical())
+		}
+		ref, err := interp.RunLimit(pd, 5_000_000)
+		if err != nil {
+			t.Fatalf("interp: %v\n%s", err, gd.Canonical())
+		}
+		cfg := sta.DefaultConfig()
+		cfg.NumTUs = 2
+		m, err := sta.New(cfg, pd)
+		if err != nil {
+			t.Fatalf("sta.New: %v\n%s", err, gd.Canonical())
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatalf("sim: %v\n%s", err, gd.Canonical())
+		}
+		if r.MemCheck != ref.MemCheck {
+			t.Fatalf("memory diverged: sim %#x interp %#x\n%s", r.MemCheck, ref.MemCheck, gd.Canonical())
+		}
+		if r.IntRegs != ref.IntRegs {
+			t.Fatalf("registers diverged\n%s", gd.Canonical())
+		}
+	})
+}

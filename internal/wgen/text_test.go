@@ -1,0 +1,100 @@
+package wgen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden expansion files")
+
+// goldenGenomes are the pinned determinism witnesses: their expansions are
+// committed under testdata/golden/ and their hashes are pinned below. Any
+// change to the expansion algorithm, the rng, or the canonical form is a
+// visible diff here — and a corpus/memo-key compatibility break, since
+// genome hashes name archived cells.
+var goldenGenomes = []struct {
+	name string
+	g    Genome
+	hash string
+}{
+	{"minimal", Genome{Seed: 1}.normalize(), "gb9728690706531e0"},
+	{"chasey", Genome{Seed: 0xABCD, Windows: 3, Window: 8, ParPct: 90, WSLog: 12,
+		Chase: 12, Streams: 4, StridePct: 30, IndirPct: 60, Probes: 2,
+		Reduce: 6, Scans: 4, BranchPct: 35, StorePct: 50, FP: 1, Chain: 1}.normalize(),
+		"gd28f024607dbbcf9"},
+	{"random77", Random(77), "gaf2679a153e2c6bc"},
+}
+
+func TestTextDeterministic(t *testing.T) {
+	for _, tc := range goldenGenomes {
+		a, b := tc.g.Text(), tc.g.Text()
+		if a != b {
+			t.Fatalf("%s: two expansions of the same genome differ", tc.name)
+		}
+	}
+	// Determinism must hold across the whole space, not just the goldens.
+	for seed := uint64(0); seed < 200; seed++ {
+		g := Random(seed)
+		if g.Text() != g.Text() {
+			t.Fatalf("seed %d: expansion is nondeterministic", seed)
+		}
+	}
+}
+
+func TestGoldenExpansions(t *testing.T) {
+	for _, tc := range goldenGenomes {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.Hash(); got != tc.hash {
+				t.Errorf("hash %s, pinned %s (genome identity convention changed)", got, tc.hash)
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".sta")
+			text := tc.g.Text()
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if string(want) != text {
+				t.Errorf("expansion differs from committed golden %s (run with -update and review the diff)", path)
+			}
+		})
+	}
+}
+
+func TestProgramsParse(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 50
+	}
+	for seed := 0; seed < n; seed++ {
+		g := Random(uint64(seed)*6364136223846793005 + 5)
+		p, err := g.Program()
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, g.Canonical())
+		}
+		if len(p.Insts) == 0 {
+			t.Fatalf("seed %d: empty program", seed)
+		}
+	}
+}
+
+func TestTextEmbedsIdentity(t *testing.T) {
+	g := Random(5)
+	text := g.Text()
+	if !strings.Contains(text, g.Hash()) {
+		t.Error("expansion does not carry the genome hash")
+	}
+	if !strings.Contains(text, g.Canonical()) {
+		t.Error("expansion does not carry the canonical genome line (needed to replay from a .sta file)")
+	}
+}
