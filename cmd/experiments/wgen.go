@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/attrib"
 	"repro/internal/config"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/stats"
@@ -34,7 +35,10 @@ type wgenOptions struct {
 
 // runWgen executes the synthesis loop on an already-configured runner, so
 // -ledger, -archive, -chaos-*, -workers, and -telemetry-* compose with it.
-func runWgen(r *harness.Runner, opts wgenOptions) int {
+// With a fleet coordinator attached, each synthesized program's canonical
+// genome line is registered as its shard spec, so generated cells
+// distribute to workers like any benchmark.
+func runWgen(r *harness.Runner, coord *fleet.Coordinator, opts wgenOptions) int {
 	cfg := config.Main(8)
 	if err := config.Apply(config.WTHWPWEC, &cfg); err != nil {
 		return fail(err)
@@ -46,6 +50,9 @@ func runWgen(r *harness.Runner, opts wgenOptions) int {
 	runOne := func(g wgen.Genome, p *isa.Program) (*stats.Sim, *attrib.Report, error) {
 		bench := g.BenchName()
 		r.RegisterProgram(bench, p)
+		if coord != nil {
+			coord.RegisterSpec(bench, g.Canonical())
+		}
 		res, err := r.Result(bench, cfg)
 		if err != nil {
 			return nil, nil, err

@@ -1,0 +1,662 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/attrib"
+	"repro/internal/chaos"
+	"repro/internal/harness"
+	"repro/internal/isa"
+	"repro/internal/runstore"
+	"repro/internal/simerr"
+	"repro/internal/sta"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a coordinator. The zero value plus Scale is usable;
+// every duration and limit has a default.
+type Config struct {
+	// Scale is the workload scale workers must build at (it is part of the
+	// cell identity; see harness.Runner.Scale).
+	Scale int
+	// LeaseTTL bounds how long a claimed cell may go without a heartbeat
+	// before its lease is revoked (default 5s). Workers heartbeat at TTL/3;
+	// the sweeper scans at TTL/4.
+	LeaseTTL time.Duration
+	// ProgressTTL bounds how long a leased cell's simulated cycle may sit
+	// still while heartbeats keep arriving — the livelocked-worker case
+	// (default 6×LeaseTTL).
+	ProgressTTL time.Duration
+	// FallbackAfter is how long a submitted cell waits for any worker to
+	// have ever joined before the coordinator declines it back to the
+	// in-process path (default 3s). Once one worker has joined, cells wait
+	// indefinitely (the sweep is distributed; reassignment handles death).
+	FallbackAfter time.Duration
+	// FailLimit quarantines a cell after classified failures reported by
+	// this many distinct worker names (default 3): the cell is poison, not
+	// the workers.
+	FailLimit int
+	// MaxAttempts bounds total assignments of one cell across lease
+	// expiries and reassignments (default 10), so a cell that kills every
+	// worker it touches cannot cycle forever.
+	MaxAttempts int
+	// Attrib asks workers to run with fill attribution and ship the report.
+	Attrib     bool
+	AttribTopN int
+	// Timeout is the per-cell wall-clock bound shipped to workers (0 =
+	// none).
+	Timeout time.Duration
+	// SimChaos is the simulator-level fault-injection config shipped to
+	// workers, so a chaos sweep faults identically under distribution (the
+	// injector is salted by memo key, not by host).
+	SimChaos chaos.Config
+	// Archive, when non-nil, answers repeat cells from the
+	// content-addressed run store without simulating: a manifest whose
+	// memo key matches and which carries the architectural register file
+	// reconstructs the full deterministic result.
+	Archive *runstore.Store
+	// Log receives coordinator lifecycle events (nil = slog.Default).
+	Log *slog.Logger
+}
+
+// cellState tracks one submitted cell through claim, lease, reassignment,
+// and completion.
+type cellState struct {
+	cell Cell
+
+	done chan struct{} // closed exactly once, on completion
+	res  *sta.Result
+	rep  *attrib.Report
+	err  error
+
+	lease        uint64 // current lease ID (0 = unleased)
+	worker       string // incarnation holding the lease
+	deadline     time.Time
+	lastCycle    uint64
+	lastProgress time.Time
+
+	attempts  int             // assignments so far (leases granted)
+	notBefore time.Time       // backoff gate for the next assignment
+	failedBy  map[string]bool // worker *names* that reported a sim failure
+	lastKind  simerr.Kind     // kind to quarantine with at the attempt cap
+	queued    bool
+	abandoned bool // declined back to the local path; late results still accepted
+}
+
+type workerState struct {
+	name     string
+	lastSeen time.Time
+}
+
+// Coordinator owns the distributable half of a sweep: the cell queue,
+// lease table, worker registry, failure accounting, and the archive fast
+// path. It implements harness.RemoteExec via Submit.
+type Coordinator struct {
+	cfg Config
+	log *slog.Logger
+
+	mu        sync.Mutex
+	cells     map[string]*cellState
+	queue     []string // memo keys awaiting assignment, FIFO
+	specs     map[string]string
+	workers   map[string]*workerState
+	leaseSeq  uint64
+	workerSeq map[string]int // name -> incarnation counter
+	everJoin  bool
+	closed    bool
+
+	// Monotonic counters behind the sta_fleet_* gauges.
+	joined      uint64
+	expired     uint64
+	reassigned  uint64
+	quarantined uint64
+	cacheHits   uint64
+	remoteDone  uint64
+	fallbacks   uint64
+
+	srv  *http.Server
+	ln   net.Listener
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator (call Start to serve).
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 5 * time.Second
+	}
+	if cfg.ProgressTTL <= 0 {
+		cfg.ProgressTTL = 6 * cfg.LeaseTTL
+	}
+	if cfg.FallbackAfter <= 0 {
+		cfg.FallbackAfter = 3 * time.Second
+	}
+	if cfg.FailLimit <= 0 {
+		cfg.FailLimit = 3
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 10
+	}
+	log := cfg.Log
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Coordinator{
+		cfg:       cfg,
+		log:       log,
+		cells:     make(map[string]*cellState),
+		workers:   make(map[string]*workerState),
+		workerSeq: make(map[string]int),
+		stop:      make(chan struct{}),
+	}
+}
+
+// Start listens on addr (e.g. ":9381" or "127.0.0.1:0") and serves the
+// fleet protocol; the lease sweeper starts with it.
+func (c *Coordinator) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/v1/join", c.handleJoin)
+	mux.HandleFunc("POST /fleet/v1/claim", c.handleClaim)
+	mux.HandleFunc("POST /fleet/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /fleet/v1/result", c.handleResult)
+	c.ln = ln
+	c.srv = &http.Server{Handler: mux}
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		if err := c.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			c.log.Error("fleet server failed", "err", err)
+		}
+	}()
+	go c.sweeper()
+	c.log.Info("fleet coordinator listening", "addr", ln.Addr().String(),
+		"lease", c.cfg.LeaseTTL, "fail_limit", c.cfg.FailLimit)
+	return nil
+}
+
+// Addr returns the actual listen address ("" before Start).
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Close stops serving and the sweeper. Pending Submit calls are declined
+// (handled=false) so a shutting-down runner falls back locally or exits.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	var err error
+	if c.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err = c.srv.Shutdown(ctx)
+		cancel()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// RegisterSpec teaches the coordinator how to shard a synthesized
+// workload: bench is the harness bench name, spec the canonical genome
+// line a worker can rebuild the program from. (Registered workloads need
+// no spec — their names alone rebuild the program at the shipped scale.)
+func (c *Coordinator) RegisterSpec(bench, spec string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.specs == nil {
+		c.specs = make(map[string]string)
+	}
+	c.specs[bench] = spec
+}
+
+// FleetCounts snapshots the coordinator's health for the telemetry
+// /metrics exporter (telemetry.Run.SetFleetSource).
+func (c *Coordinator) FleetCounts() telemetry.FleetCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc := telemetry.FleetCounts{
+		WorkersJoined:    c.joined,
+		LeasesExpired:    c.expired,
+		CellsReassigned:  c.reassigned,
+		CellsQuarantined: c.quarantined,
+		CacheHits:        c.cacheHits,
+		RemoteResults:    c.remoteDone,
+		LocalFallbacks:   c.fallbacks,
+	}
+	cutoff := time.Now().Add(-2 * c.cfg.LeaseTTL)
+	for _, w := range c.workers {
+		if w.lastSeen.After(cutoff) {
+			fc.WorkersLive++
+		}
+	}
+	for _, st := range c.cells {
+		if st.lease != 0 && !isDone(st) {
+			fc.LeasesHeld++
+		}
+	}
+	return fc
+}
+
+func isDone(st *cellState) bool {
+	select {
+	case <-st.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit implements harness.RemoteExec: it answers the cell from the
+// archive when possible, otherwise queues it for workers and waits.
+// handled=false means the runner should simulate in-process: the bench is
+// not shardable, no worker ever joined within FallbackAfter, or the
+// coordinator is shutting down.
+func (c *Coordinator) Submit(ctx context.Context, bench string, cfg sta.Config) (*sta.Result, *attrib.Report, bool, error) {
+	key := harness.MemoKey(bench, cfg)
+	spec, shardable := c.shardable(bench)
+	if !shardable {
+		return nil, nil, false, nil
+	}
+	if res := c.fromArchive(bench, key); res != nil {
+		return res, nil, true, nil
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil, false, nil
+	}
+	st, ok := c.cells[key]
+	if !ok || st.abandoned {
+		st = &cellState{
+			cell: Cell{Key: key, Bench: bench, Scale: c.cfg.Scale, Cfg: cfg, Wgen: spec},
+			done: make(chan struct{}),
+		}
+		c.cells[key] = st
+		st.queued = true
+		c.queue = append(c.queue, key)
+	}
+	everJoined := c.everJoin
+	c.mu.Unlock()
+
+	var fallback <-chan time.Time
+	if !everJoined {
+		t := time.NewTimer(c.cfg.FallbackAfter)
+		defer t.Stop()
+		fallback = t.C
+	}
+	for {
+		select {
+		case <-st.done:
+			c.mu.Lock()
+			res, rep, err := st.res, st.rep, st.err
+			c.mu.Unlock()
+			return res, rep, true, err
+		case <-ctx.Done():
+			return nil, nil, true, simerr.Classify("fleet.Submit", ctx.Err(), simerr.Canceled)
+		case <-c.stop:
+			return nil, nil, false, nil
+		case <-fallback:
+			c.mu.Lock()
+			if c.everJoin {
+				// A worker arrived while we were waiting: stay distributed.
+				fallback = nil
+				c.mu.Unlock()
+				continue
+			}
+			// No worker ever joined. Pull the cell back (unless a join race
+			// just leased it) and run locally.
+			if st.lease == 0 && !isDone(st) {
+				st.abandoned = true
+				c.dequeueLocked(key)
+				c.fallbacks++
+				c.mu.Unlock()
+				c.log.Info("fleet fallback to in-process simulation", "bench", bench, "key_tag", runstore.ShortKey(key))
+				return nil, nil, false, nil
+			}
+			fallback = nil
+			c.mu.Unlock()
+		}
+	}
+}
+
+// shardable reports whether bench can be rebuilt by a worker from its
+// name: a registered workload, or a synthesized program with a registered
+// genome spec (returned for the wire).
+func (c *Coordinator) shardable(bench string) (spec string, ok bool) {
+	c.mu.Lock()
+	spec, isSpec := c.specs[bench]
+	c.mu.Unlock()
+	if isSpec {
+		return spec, true
+	}
+	if _, err := workload.ByName(bench); err == nil {
+		return "", true
+	}
+	return "", false
+}
+
+// fromArchive reconstructs a full deterministic result from an archived
+// manifest, when one exists for exactly this cell and carries the
+// register file. Attributed sweeps skip the fast path: manifests hold only
+// the attribution summary, not the report the runner needs.
+func (c *Coordinator) fromArchive(bench, key string) *sta.Result {
+	if c.cfg.Archive == nil || c.cfg.Attrib {
+		return nil
+	}
+	m := c.cfg.Archive.Get(runstore.CellKey(bench, c.cfg.Scale, runstore.CfgHash(key)))
+	if m == nil || m.MemoKey != key || len(m.IntRegs) != isa.NumIntRegs {
+		return nil
+	}
+	res := &sta.Result{Stats: m.Stats, MemCheck: m.MemCheck}
+	copy(res.IntRegs[:], m.IntRegs)
+	c.mu.Lock()
+	c.cacheHits++
+	c.mu.Unlock()
+	c.log.Info("fleet cell answered from archive", "bench", bench, "key_tag", runstore.ShortKey(key))
+	return res
+}
+
+// dequeueLocked removes key from the FIFO (c.mu held).
+func (c *Coordinator) dequeueLocked(key string) {
+	for i, k := range c.queue {
+		if k == key {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			break
+		}
+	}
+	if st := c.cells[key]; st != nil {
+		st.queued = false
+	}
+}
+
+// ---- HTTP handlers ----
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.V != protoVersion {
+		http.Error(w, fmt.Sprintf("protocol version %d, want %d", req.V, protoVersion), http.StatusConflict)
+		return
+	}
+	if req.Name == "" {
+		http.Error(w, "join without a name", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.workerSeq[req.Name]++
+	id := fmt.Sprintf("%s/%d", req.Name, c.workerSeq[req.Name])
+	c.workers[id] = &workerState{name: req.Name, lastSeen: time.Now()}
+	c.joined++
+	c.everJoin = true
+	c.mu.Unlock()
+	c.log.Info("fleet worker joined", "worker", id, "slots", req.Slots)
+	writeJSON(w, JoinResponse{
+		Worker:      id,
+		Scale:       c.cfg.Scale,
+		LeaseMS:     c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMS: (c.cfg.LeaseTTL / 3).Milliseconds(),
+		PollMS:      150,
+		Attrib:      c.cfg.Attrib,
+		AttribTopN:  c.cfg.AttribTopN,
+		TimeoutMS:   c.cfg.Timeout.Milliseconds(),
+		SimChaos:    c.cfg.SimChaos,
+	})
+}
+
+func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws, known := c.workers[req.Worker]
+	if !known {
+		writeJSON(w, ClaimResponse{Rejoin: true})
+		return
+	}
+	now := time.Now()
+	ws.lastSeen = now
+	for i, key := range c.queue {
+		st := c.cells[key]
+		if st == nil || isDone(st) || now.Before(st.notBefore) {
+			continue
+		}
+		c.queue = append(c.queue[:i], c.queue[i+1:]...)
+		st.queued = false
+		c.leaseSeq++
+		st.lease = c.leaseSeq
+		st.worker = req.Worker
+		st.deadline = now.Add(c.cfg.LeaseTTL)
+		st.lastCycle = 0
+		st.lastProgress = now
+		st.attempts++
+		cell := st.cell
+		writeJSON(w, ClaimResponse{Cell: &cell, Lease: st.lease})
+		return
+	}
+	writeJSON(w, ClaimResponse{None: true})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws, known := c.workers[req.Worker]
+	if !known {
+		writeJSON(w, HeartbeatResponse{Rejoin: true})
+		return
+	}
+	now := time.Now()
+	ws.lastSeen = now
+	st := c.cells[req.Key]
+	if st == nil || isDone(st) || st.lease != req.Lease || st.worker != req.Worker {
+		// The lease was revoked (or the cell finished elsewhere): the
+		// worker should stop burning cycles on it.
+		writeJSON(w, HeartbeatResponse{Cancel: true})
+		return
+	}
+	st.deadline = now.Add(c.cfg.LeaseTTL)
+	if req.Cycle > st.lastCycle {
+		st.lastCycle = req.Cycle
+		st.lastProgress = now
+	}
+	writeJSON(w, HeartbeatResponse{})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws, known := c.workers[req.Worker]
+	if known {
+		ws.lastSeen = time.Now()
+	}
+	st := c.cells[req.Key]
+	if st == nil {
+		// A cell the coordinator no longer tracks (e.g. fallback took it):
+		// acknowledge so the worker stops retrying.
+		writeJSON(w, ResultResponse{Rejoin: !known})
+		return
+	}
+	if isDone(st) {
+		// Duplicate or late delivery — at-least-once made idempotent.
+		writeJSON(w, ResultResponse{})
+		return
+	}
+	if req.Result != nil {
+		// Success is success no matter whose lease it was: the simulator is
+		// deterministic, so a stale-lease result is byte-identical to the
+		// one the replacement worker would produce.
+		st.res = req.Result
+		st.lease = 0
+		c.remoteDone++
+		if st.queued {
+			c.dequeueLocked(req.Key)
+		}
+		if c.cfg.Attrib {
+			if req.Attrib == nil {
+				st.err = simerr.Errorf(simerr.Unknown, "fleet.result",
+					"worker %s returned a result without the requested attribution report", req.Worker)
+			} else {
+				st.rep = req.Attrib
+			}
+		}
+		close(st.done)
+		writeJSON(w, ResultResponse{})
+		return
+	}
+	// A classified failure. Only count it toward the poison threshold when
+	// the lease is current: a stale report says more about the worker's
+	// past than about the cell.
+	if !known || st.lease != req.Lease || st.worker != req.Worker {
+		writeJSON(w, ResultResponse{Rejoin: !known})
+		return
+	}
+	name := ws.name
+	if st.failedBy == nil {
+		st.failedBy = make(map[string]bool)
+	}
+	st.failedBy[name] = true
+	kind := simerr.ParseKind(req.ErrKind)
+	st.lastKind = kind
+	st.lease = 0
+	st.worker = ""
+	if len(st.failedBy) >= c.cfg.FailLimit || st.attempts >= c.cfg.MaxAttempts {
+		c.quarantineLocked(st, &simerr.Error{Kind: kind, Op: "fleet.worker", Bench: st.cell.Bench,
+			Err: fmt.Errorf("%s (reported by %d distinct workers, %d attempts)", req.ErrMsg, len(st.failedBy), st.attempts)})
+	} else {
+		c.requeueLocked(st, "reported "+kind.String())
+	}
+	writeJSON(w, ResultResponse{})
+}
+
+// quarantineLocked completes a cell with a classified failure (c.mu held).
+func (c *Coordinator) quarantineLocked(st *cellState, err *simerr.Error) {
+	if isDone(st) {
+		return
+	}
+	st.err = err
+	st.lease = 0
+	if st.queued {
+		c.dequeueLocked(st.cell.Key)
+	}
+	c.quarantined++
+	close(st.done)
+	c.log.Warn("fleet cell quarantined", "bench", st.cell.Bench,
+		"key_tag", runstore.ShortKey(st.cell.Key), "kind", err.Kind.String(), "err", err.Err)
+}
+
+// requeueLocked puts a cell back in the FIFO behind a deterministic
+// per-cell backoff gate (c.mu held). The jitter stream is keyed by the
+// memo key — the same helper the harness IO retry path uses — so a burst
+// of simultaneously-orphaned cells spreads out instead of stampeding the
+// next claimant.
+func (c *Coordinator) requeueLocked(st *cellState, why string) {
+	if isDone(st) || st.queued {
+		return
+	}
+	st.notBefore = time.Now().Add(harness.BackoffDelay(st.cell.Key, st.attempts, 25*time.Millisecond, 2*time.Second))
+	st.queued = true
+	c.queue = append(c.queue, st.cell.Key)
+	c.reassigned++
+	c.log.Info("fleet cell requeued", "bench", st.cell.Bench,
+		"key_tag", runstore.ShortKey(st.cell.Key), "attempts", st.attempts, "why", why)
+}
+
+// sweeper periodically revokes leases whose heartbeats stopped (the worker
+// died) or whose simulated cycle stopped advancing (the worker livelocked),
+// requeueing the cells and deregistering dead incarnations.
+func (c *Coordinator) sweeper() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.LeaseTTL / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		for _, st := range c.cells {
+			if st.lease == 0 || isDone(st) {
+				continue
+			}
+			var kind simerr.Kind
+			var why string
+			switch {
+			case now.After(st.deadline):
+				kind, why = simerr.Timeout, "lease expired (missed heartbeats)"
+			case now.Sub(st.lastProgress) > c.cfg.ProgressTTL:
+				kind, why = simerr.Deadlock, "lease stalled (heartbeats without progress)"
+			default:
+				continue
+			}
+			worker := st.worker
+			c.expired++
+			st.lease = 0
+			st.worker = ""
+			st.lastKind = kind
+			// The worker vanished (or wedged); blame it, not the cell: the
+			// incarnation is deregistered — a Rejoin answer greets any
+			// zombie heartbeat — and the cell goes back in the queue with
+			// no poison-count advance.
+			delete(c.workers, worker)
+			c.log.Warn("fleet lease revoked", "worker", worker, "bench", st.cell.Bench,
+				"key_tag", runstore.ShortKey(st.cell.Key), "why", why)
+			if st.attempts >= c.cfg.MaxAttempts {
+				c.quarantineLocked(st, &simerr.Error{Kind: kind, Op: "fleet.lease", Bench: st.cell.Bench,
+					Err: fmt.Errorf("%s after %d assignments", why, st.attempts)})
+			} else {
+				c.requeueLocked(st, why)
+			}
+		}
+		c.mu.Unlock()
+	}
+}

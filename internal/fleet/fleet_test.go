@@ -1,0 +1,538 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/runstore"
+	"repro/internal/simerr"
+	"repro/internal/sta"
+	"repro/internal/wgen"
+)
+
+// startCoordinator brings up a coordinator on a loopback port and tears it
+// down with the test.
+func startCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c := NewCoordinator(cfg)
+	if err := c.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// startWorker runs a fleet worker until the test ends.
+func startWorker(t *testing.T, c *Coordinator, cfg WorkerConfig) {
+	t.Helper()
+	cfg.URL = "http://" + c.Addr()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunWorker(ctx, cfg)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// fleetRunner wires a runner to a coordinator the way the experiments CLI
+// does.
+func fleetRunner(c *Coordinator) *harness.Runner {
+	r := harness.NewRunner(c.cfg.Scale)
+	r.Remote = c.Submit
+	return r
+}
+
+// post is a bare fleet-protocol client for tests that play the worker role
+// by hand.
+func post[T any](t *testing.T, c *Coordinator, op string, req any) T {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+c.Addr()+"/fleet/v1/"+op, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("%s: %s: %s", op, resp.Status, msg)
+	}
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFleetBitIdentity is the acceptance core: a sweep answered by a
+// worker process equals the in-process sweep bit for bit.
+func TestFleetBitIdentity(t *testing.T) {
+	cells := []sta.Config{config.Main(2), config.Main(4)}
+
+	local := harness.NewRunner(1)
+	want := make([]*sta.Result, len(cells))
+	for i, cfg := range cells {
+		res, err := local.Result("gzip", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	c := startCoordinator(t, Config{Scale: 1, LeaseTTL: 2 * time.Second})
+	startWorker(t, c, WorkerConfig{Name: "w1", Slots: 2})
+	r := fleetRunner(c)
+	for i, cfg := range cells {
+		res, err := r.Result("gzip", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *res != *want[i] {
+			t.Errorf("cell %d: fleet result differs from local:\nfleet %+v\nlocal %+v", i, res.Stats, want[i].Stats)
+		}
+	}
+	fc := c.FleetCounts()
+	if fc.RemoteResults != uint64(len(cells)) {
+		t.Errorf("RemoteResults = %d, want %d", fc.RemoteResults, len(cells))
+	}
+	if fc.LocalFallbacks != 0 || fc.CacheHits != 0 {
+		t.Errorf("unexpected fallbacks/cache hits: %+v", fc)
+	}
+}
+
+// TestFleetLocalFallback: with no worker ever joining, Submit declines and
+// the runner's in-process path still produces the right answer.
+func TestFleetLocalFallback(t *testing.T) {
+	c := startCoordinator(t, Config{Scale: 1, FallbackAfter: 150 * time.Millisecond})
+	r := fleetRunner(c)
+	res, err := r.Result("gzip", config.Main(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := harness.NewRunner(1).Result("gzip", config.Main(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res != *want {
+		t.Error("fallback result differs from plain local run")
+	}
+	if fc := c.FleetCounts(); fc.LocalFallbacks != 1 {
+		t.Errorf("LocalFallbacks = %d, want 1", fc.LocalFallbacks)
+	}
+}
+
+// TestFleetUnshardableDeclined: a bench the worker could not rebuild from
+// its name is declined immediately, not queued.
+func TestFleetUnshardableDeclined(t *testing.T) {
+	c := startCoordinator(t, Config{Scale: 1, FallbackAfter: time.Hour})
+	_, _, handled, err := c.Submit(context.Background(), "no-such-bench", config.Main(2))
+	if handled || err != nil {
+		t.Fatalf("Submit(unshardable) = handled %v, err %v; want declined", handled, err)
+	}
+}
+
+// TestFleetArchiveFastPath: a cell whose manifest (with register file) is
+// already archived is answered without workers or simulation.
+func TestFleetArchiveFastPath(t *testing.T) {
+	dir := t.TempDir()
+	st, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := harness.NewRunner(1)
+	local.Archive = st
+	want, err := local.Result("gzip", config.Main(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c := startCoordinator(t, Config{Scale: 1, Archive: st2, FallbackAfter: time.Hour})
+	res, _, handled, err := c.Submit(context.Background(), "gzip", config.Main(2))
+	if err != nil || !handled {
+		t.Fatalf("Submit = handled %v, err %v", handled, err)
+	}
+	if *res != *want {
+		t.Error("archive fast path reconstructed a different result")
+	}
+	if fc := c.FleetCounts(); fc.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", fc.CacheHits)
+	}
+	// An attributed sweep must skip the fast path: manifests carry only the
+	// attribution summary.
+	ca := startCoordinator(t, Config{Scale: 1, Archive: st2, Attrib: true, FallbackAfter: 100 * time.Millisecond})
+	_, _, handled, err = ca.Submit(context.Background(), "gzip", config.Main(2))
+	if handled || err != nil {
+		t.Fatalf("attributed Submit should decline to local, got handled %v err %v", handled, err)
+	}
+}
+
+// TestFleetLeaseExpiryReassigns: a worker that claims a cell and then goes
+// silent loses its lease; the cell is reassigned to a live worker and the
+// silent incarnation is told to rejoin. Vanishing is blamed on the worker:
+// no poison count accrues.
+func TestFleetLeaseExpiryReassigns(t *testing.T) {
+	c := startCoordinator(t, Config{Scale: 1, LeaseTTL: 300 * time.Millisecond})
+
+	type submitOut struct {
+		res *sta.Result
+		err error
+	}
+	outc := make(chan submitOut, 1)
+	go func() {
+		res, _, _, err := c.Submit(context.Background(), "gzip", config.Main(2))
+		outc <- submitOut{res, err}
+	}()
+
+	// A hand-rolled worker joins, claims the cell, and dies silently.
+	jr := post[JoinResponse](t, c, "join", JoinRequest{V: protoVersion, Name: "ghost", Slots: 1})
+	var cr ClaimResponse
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		cr = post[ClaimResponse](t, c, "claim", ClaimRequest{Worker: jr.Worker})
+		if cr.Cell != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ghost worker never got the cell")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Lease expires; a real worker picks the cell up and finishes it.
+	startWorker(t, c, WorkerConfig{Name: "real", Slots: 1})
+	out := <-outc
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	want, err := harness.NewRunner(1).Result("gzip", config.Main(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out.res != *want {
+		t.Error("reassigned result differs from local")
+	}
+	fc := c.FleetCounts()
+	if fc.LeasesExpired == 0 || fc.CellsReassigned == 0 {
+		t.Errorf("expected expiry + reassignment, got %+v", fc)
+	}
+	if fc.CellsQuarantined != 0 {
+		t.Errorf("silent death must not quarantine the cell: %+v", fc)
+	}
+	// The ghost's zombie heartbeat is told to rejoin.
+	hb := post[HeartbeatResponse](t, c, "heartbeat", HeartbeatRequest{Worker: jr.Worker, Lease: cr.Lease, Key: cr.Cell.Key})
+	if !hb.Rejoin {
+		t.Error("deregistered incarnation's heartbeat not answered with Rejoin")
+	}
+}
+
+// TestFleetPoisonQuarantine: classified failures reported by distinct
+// worker names cross FailLimit and quarantine the cell with the reported
+// kind — the poison-cell half of the attribution policy.
+func TestFleetPoisonQuarantine(t *testing.T) {
+	c := startCoordinator(t, Config{Scale: 1, LeaseTTL: 5 * time.Second, FailLimit: 2})
+	outc := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Submit(context.Background(), "gzip", config.Main(2))
+		outc <- err
+	}()
+
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("flaky%d", i)
+		jr := post[JoinResponse](t, c, "join", JoinRequest{V: protoVersion, Name: name, Slots: 1})
+		var cr ClaimResponse
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			cr = post[ClaimResponse](t, c, "claim", ClaimRequest{Worker: jr.Worker})
+			if cr.Cell != nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d never got the cell", i)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		post[ResultResponse](t, c, "result", ResultRequest{
+			Worker: jr.Worker, Lease: cr.Lease, Key: cr.Cell.Key,
+			ErrKind: simerr.Panic.String(), ErrMsg: "injected test panic",
+		})
+	}
+	err := <-outc
+	if err == nil {
+		t.Fatal("poison cell completed without error")
+	}
+	if kind := simerr.KindOf(err); kind != simerr.Panic {
+		t.Errorf("quarantine kind = %v, want panic (the reported kind)", kind)
+	}
+	if fc := c.FleetCounts(); fc.CellsQuarantined != 1 {
+		t.Errorf("CellsQuarantined = %d, want 1", fc.CellsQuarantined)
+	}
+}
+
+// TestFleetDuplicateResultIdempotent: the same result delivered twice (the
+// net-dup / net-drop retry case) is applied once and acknowledged both
+// times.
+func TestFleetDuplicateResultIdempotent(t *testing.T) {
+	c := startCoordinator(t, Config{Scale: 1, LeaseTTL: 5 * time.Second})
+	done := make(chan *sta.Result, 1)
+	go func() {
+		res, _, _, _ := c.Submit(context.Background(), "gzip", config.Main(2))
+		done <- res
+	}()
+	jr := post[JoinResponse](t, c, "join", JoinRequest{V: protoVersion, Name: "dup", Slots: 1})
+	var cr ClaimResponse
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		cr = post[ClaimResponse](t, c, "claim", ClaimRequest{Worker: jr.Worker})
+		if cr.Cell != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never got the cell")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res, err := harness.NewRunner(1).Result("gzip", config.Main(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ResultRequest{Worker: jr.Worker, Lease: cr.Lease, Key: cr.Cell.Key, Result: res}
+	post[ResultResponse](t, c, "result", req)
+	post[ResultResponse](t, c, "result", req) // duplicate delivery
+	got := <-done
+	if *got != *res {
+		t.Error("result corrupted by duplicate delivery")
+	}
+	if fc := c.FleetCounts(); fc.RemoteResults != 1 {
+		t.Errorf("RemoteResults = %d, want 1 (duplicate must not double-count)", fc.RemoteResults)
+	}
+}
+
+// TestFleetWgenAttrib: a synthesized workload distributes via its genome
+// spec and the worker's attribution report comes back intact.
+func TestFleetWgenAttrib(t *testing.T) {
+	g := wgen.Random(7)
+	p, err := g.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := g.BenchName()
+	cfg := config.Main(2)
+
+	local := harness.NewRunner(1)
+	local.Attrib = true
+	local.RegisterProgram(bench, p)
+	wantRes, err := local.Result(bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep, err := local.AttribReport(bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := startCoordinator(t, Config{Scale: 1, LeaseTTL: 2 * time.Second, Attrib: true})
+	c.RegisterSpec(bench, g.Canonical())
+	startWorker(t, c, WorkerConfig{Name: "wg", Slots: 1})
+	r := fleetRunner(c)
+	r.Attrib = true
+	r.RegisterProgram(bench, p) // reference interpretation still runs coordinator-side
+	res, err := r.Result(bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res != *wantRes {
+		t.Error("wgen fleet result differs from local")
+	}
+	rep, err := r.AttribReport(bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckInternal(); err != nil {
+		t.Errorf("wire-delivered report fails internal accounting: %v", err)
+	}
+	if rep.SpecFills.Total() != wantRep.SpecFills.Total() || rep.Useful.Total() != wantRep.Useful.Total() {
+		t.Errorf("report totals differ: fleet %d/%d local %d/%d",
+			rep.SpecFills.Total(), rep.Useful.Total(), wantRep.SpecFills.Total(), wantRep.Useful.Total())
+	}
+}
+
+// TestFleetChaosSoakBitIdentity: with every network fault point firing at
+// nonzero probability — plus injected worker kills — the sweep still
+// converges to the bit-identical local answer.
+func TestFleetChaosSoakBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	cells := []sta.Config{config.Main(2), config.Main(4)}
+	local := harness.NewRunner(1)
+	want := make([]*sta.Result, len(cells))
+	for i, cfg := range cells {
+		res, err := local.Result("gzip", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	c := startCoordinator(t, Config{Scale: 1, LeaseTTL: 700 * time.Millisecond})
+	net := chaos.Config{
+		Seed:          11,
+		NetDrop:       0.10,
+		NetDelay:      0.10,
+		NetDup:        0.10,
+		NetTrunc:      0.10,
+		WorkerKill:    0.03,
+		NetDelaySleep: 20 * time.Millisecond,
+	}
+	startWorker(t, c, WorkerConfig{Name: "soak1", Slots: 1, Chaos: net})
+	startWorker(t, c, WorkerConfig{Name: "soak2", Slots: 1, Chaos: net})
+	r := fleetRunner(c)
+	for i, cfg := range cells {
+		res, err := r.Result("gzip", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *res != *want[i] {
+			t.Errorf("cell %d diverged under network chaos", i)
+		}
+	}
+}
+
+// TestTransportZeroProbPassthrough: a transport whose injector has all
+// network probabilities at zero (or no injector at all) is wire-identical
+// to the bare client.
+func TestTransportZeroProbPassthrough(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprintf(w, `{"ok":%d}`, hits.Load())
+	}))
+	defer srv.Close()
+
+	fetch := func(cl *http.Client) string {
+		resp, err := cl.Post(srv.URL, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	bare := fetch(srv.Client())
+	nilInj := fetch(&http.Client{Transport: &Transport{Base: http.DefaultTransport}})
+	zero := fetch(&http.Client{Transport: &Transport{Base: http.DefaultTransport, In: chaos.New(chaos.Config{Seed: 3}, "zero")}})
+	wantN := hits.Load()
+	if wantN != 3 {
+		t.Fatalf("server saw %d requests, want 3 (no dups, no drops)", wantN)
+	}
+	for i, got := range []string{bare, nilInj, zero} {
+		want := fmt.Sprintf(`{"ok":%d}`, i+1)
+		if got != want {
+			t.Errorf("response %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestTransportFaults: each fault point at probability 1 produces its
+// documented client-visible behaviour.
+func TestTransportFaults(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprint(w, `{"field":"a reasonably long body so truncation cuts mid-JSON"}`)
+	}))
+	defer srv.Close()
+
+	t.Run("drop", func(t *testing.T) {
+		hits.Store(0)
+		cl := &http.Client{Transport: &Transport{In: chaos.New(chaos.Config{Seed: 1, NetDrop: 1}, "t")}}
+		_, err := cl.Post(srv.URL, "application/json", strings.NewReader(`{}`))
+		if err == nil {
+			t.Fatal("dropped response did not error")
+		}
+		if hits.Load() != 1 {
+			t.Errorf("server hits = %d, want 1 (request must still be delivered)", hits.Load())
+		}
+	})
+	t.Run("dup", func(t *testing.T) {
+		hits.Store(0)
+		cl := &http.Client{Transport: &Transport{In: chaos.New(chaos.Config{Seed: 1, NetDup: 1}, "t")}}
+		req, _ := http.NewRequest(http.MethodPost, srv.URL, strings.NewReader(`{}`))
+		resp, err := cl.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if hits.Load() != 2 {
+			t.Errorf("server hits = %d, want 2 (request delivered twice)", hits.Load())
+		}
+	})
+	t.Run("trunc", func(t *testing.T) {
+		cl := &http.Client{Transport: &Transport{In: chaos.New(chaos.Config{Seed: 1, NetTrunc: 1}, "t")}}
+		resp, err := cl.Post(srv.URL, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err == nil {
+			t.Error("truncated body still parsed as JSON")
+		}
+	})
+	t.Run("delay", func(t *testing.T) {
+		cl := &http.Client{Transport: &Transport{In: chaos.New(chaos.Config{Seed: 1, NetDelay: 1, NetDelaySleep: 60 * time.Millisecond}, "t")}}
+		start := time.Now()
+		resp, err := cl.Post(srv.URL, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+			t.Errorf("delayed exchange took %v, want >= 60ms", elapsed)
+		}
+	})
+}
+
+// TestFleetCountsProm sanity-checks the telemetry wiring end to end: the
+// gauges a coordinator exports must reflect its counters.
+func TestFleetCountsProm(t *testing.T) {
+	c := startCoordinator(t, Config{Scale: 1, FallbackAfter: 50 * time.Millisecond})
+	_, _, handled, _ := c.Submit(context.Background(), "gzip", config.Main(2))
+	if handled {
+		t.Fatal("expected fallback")
+	}
+	fc := c.FleetCounts()
+	if fc.LocalFallbacks != 1 || fc.WorkersLive != 0 {
+		t.Errorf("counts = %+v", fc)
+	}
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// Transport is an http.RoundTripper that injects seeded network faults
+// into the fleet protocol's client side. Faults are drawn from the chaos
+// injector's network points, so they are a pure function of (seed, salt,
+// draw index): a soak run reproduces its fault schedule exactly. With a
+// nil injector — or one whose network probabilities are all zero — every
+// draw misses and the transport is wire-identical to its base.
+//
+// The faults model the classic failure envelope an at-least-once protocol
+// must survive:
+//
+//   - drop: the request reaches the server (side effects happen) but the
+//     response is discarded, so the client retries a completed operation —
+//     receivers must be idempotent.
+//   - delay: the exchange stalls, racing heartbeats against lease expiry.
+//   - dup: the request is delivered twice back to back.
+//   - trunc: the response body is cut mid-JSON, so decoders must treat
+//     parse failures as transient.
+type Transport struct {
+	Base http.RoundTripper // nil = http.DefaultTransport
+	In   *chaos.Injector
+
+	// mu serializes injector draws: the injector itself is single-stream
+	// by design, but one worker's slots share this transport. Per-point
+	// streams are independent, so draw order across points never matters —
+	// only same-point draws need ordering, which the lock provides.
+	mu sync.Mutex
+}
+
+// Draw pulls one decision from the shared injector, safely from any
+// goroutine (the worker draws its kill point through this).
+func (t *Transport) Draw(p chaos.Point) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.In.Hit(p)
+}
+
+// errDropped is the injected drop failure; it reads like a network error
+// so clients exercise their real retry path.
+type errDropped struct{ salt string }
+
+func (e errDropped) Error() string {
+	return fmt.Sprintf("chaos: injected net-drop (response discarded) (%s)", e.salt)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.In == nil {
+		return base.RoundTrip(req)
+	}
+	t.mu.Lock()
+	delay := t.In.Hit(chaos.PointNetDelay)
+	dup := t.In.Hit(chaos.PointNetDup)
+	drop := t.In.Hit(chaos.PointNetDrop)
+	trunc := t.In.Hit(chaos.PointNetTrunc)
+	t.mu.Unlock()
+	if delay {
+		select {
+		case <-time.After(t.In.NetDelaySleep()):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if dup && req.GetBody != nil {
+		// Deliver the request twice: the first copy's response is discarded,
+		// the caller sees the second. The server must converge.
+		if body, err := req.GetBody(); err == nil {
+			dup := req.Clone(req.Context())
+			dup.Body = body
+			if resp, err := base.RoundTrip(dup); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		if body, err := req.GetBody(); err == nil {
+			req = req.Clone(req.Context())
+			req.Body = body
+		}
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if drop {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, errDropped{salt: t.In.Salt()}
+	}
+	if trunc {
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(raw) > 1 {
+			raw = raw[:len(raw)/2]
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(raw))
+		resp.ContentLength = int64(len(raw))
+	}
+	return resp, nil
+}

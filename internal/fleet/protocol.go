@@ -1,0 +1,124 @@
+// Package fleet distributes a sweep across processes: a coordinator owns
+// the experiment plan, the validation/ledger/archive tail, and the memo
+// table, while stateless workers simulate cells claimed under time-bounded
+// leases.
+//
+// The design leans entirely on the simulator's determinism contract: a
+// cell's result is a pure function of (bench, scale, config), so any
+// worker's answer equals the in-process one bit for bit, late or duplicate
+// deliveries are harmless (results are idempotent by memo key), and the
+// coordinator can answer repeat cells straight from the content-addressed
+// run archive without simulating at all. Everything that makes distributed
+// systems hard — retries, reassignment after worker death, resumption
+// after a coordinator kill — therefore reduces to at-least-once delivery
+// plus idempotent application, which the existing ledger discipline
+// already provides.
+//
+// Failure attribution distinguishes "the cell is poison" from "the worker
+// is flaky": a worker that *reports* a classified simulation failure
+// counts toward the cell's distinct-worker quarantine threshold, while a
+// worker that silently vanishes (lease expiry, missed heartbeats, stalled
+// progress) is blamed itself — its leases are revoked and the cells
+// re-queued under capped exponential backoff with deterministic per-cell
+// jitter, without advancing the poison count.
+package fleet
+
+import (
+	"repro/internal/attrib"
+	"repro/internal/chaos"
+	"repro/internal/sta"
+)
+
+// protoVersion guards against coordinator/worker skew; a mismatched join
+// is refused rather than silently misinterpreted.
+const protoVersion = 1
+
+// Cell is one unit of distributable work. Key is the harness memo key the
+// coordinator derived; the worker re-derives it from (Bench, Cfg) and
+// refuses the cell on mismatch, so a corrupted wire payload can never be
+// simulated under the wrong identity.
+type Cell struct {
+	Key   string     `json:"key"`
+	Bench string     `json:"bench"`
+	Scale int        `json:"scale"`
+	Cfg   sta.Config `json:"cfg"`
+	// Wgen carries the canonical genome line when Bench is a synthesized
+	// workload; the worker reconstructs and registers the program from it.
+	Wgen string `json:"wgen,omitempty"`
+}
+
+// JoinRequest announces a worker to the coordinator. Name is stable across
+// a worker's deaths and rebirths (it keys the poison-vs-flaky accounting);
+// the coordinator hands back a per-incarnation worker ID.
+type JoinRequest struct {
+	V     int    `json:"v"`
+	Name  string `json:"name"`
+	Slots int    `json:"slots"`
+}
+
+// JoinResponse configures the worker: everything a simulation needs to be
+// bit-identical with the coordinator's own in-process path.
+type JoinResponse struct {
+	Worker      string       `json:"worker"` // per-incarnation ID ("name/3")
+	Scale       int          `json:"scale"`
+	LeaseMS     int64        `json:"lease_ms"`
+	HeartbeatMS int64        `json:"heartbeat_ms"`
+	PollMS      int64        `json:"poll_ms"`
+	Attrib      bool         `json:"attrib"`
+	AttribTopN  int          `json:"attrib_top_n,omitempty"`
+	TimeoutMS   int64        `json:"timeout_ms,omitempty"`
+	SimChaos    chaos.Config `json:"sim_chaos"`
+}
+
+// ClaimRequest asks for one cell.
+type ClaimRequest struct {
+	Worker string `json:"worker"`
+}
+
+// ClaimResponse grants a lease (Cell non-nil), reports an empty queue
+// (None), or tells an unknown incarnation to rejoin.
+type ClaimResponse struct {
+	Cell   *Cell  `json:"cell,omitempty"`
+	Lease  uint64 `json:"lease,omitempty"`
+	None   bool   `json:"none,omitempty"`
+	Rejoin bool   `json:"rejoin,omitempty"`
+}
+
+// HeartbeatRequest renews a lease and publishes forward progress. Cycle
+// feeds the coordinator's stall detector: a lease whose heartbeats arrive
+// but whose cycle never advances is revoked just like a silent one.
+type HeartbeatRequest struct {
+	Worker  string `json:"worker"`
+	Lease   uint64 `json:"lease"`
+	Key     string `json:"key"`
+	Cycle   uint64 `json:"cycle"`
+	Commits uint64 `json:"commits"`
+}
+
+// HeartbeatResponse: Cancel tells the worker its lease was revoked (stop
+// simulating, the cell belongs to someone else now); Rejoin that the
+// incarnation itself is unknown.
+type HeartbeatResponse struct {
+	Cancel bool `json:"cancel,omitempty"`
+	Rejoin bool `json:"rejoin,omitempty"`
+}
+
+// ResultRequest delivers a finished cell: either the deterministic result
+// (plus the attribution report when the sweep runs attributed) or a
+// classified failure as (kind name, message). Delivery is at-least-once;
+// the coordinator applies it idempotently by memo key.
+type ResultRequest struct {
+	Worker  string         `json:"worker"`
+	Lease   uint64         `json:"lease"`
+	Key     string         `json:"key"`
+	Result  *sta.Result    `json:"result,omitempty"`
+	Attrib  *attrib.Report `json:"attrib,omitempty"`
+	ErrKind string         `json:"err_kind,omitempty"`
+	ErrMsg  string         `json:"err_msg,omitempty"`
+}
+
+// ResultResponse acknowledges a delivery (the worker retries until it gets
+// one, so a dropped response just means a duplicate send).
+type ResultResponse struct {
+	Rejoin bool `json:"rejoin,omitempty"`
+}

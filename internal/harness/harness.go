@@ -102,6 +102,21 @@ type Runner struct {
 	// instead of through Verbose.
 	Telemetry *telemetry.Run
 
+	// Remote, when non-nil, is offered every cell before the in-process
+	// simulation path: the fleet coordinator's dispatch hook. A handled
+	// cell's deterministic result (and attribution report, when Attrib is
+	// set) comes back over the wire and flows through exactly the same
+	// validation, archive, and ledger tail as a local run — so remote and
+	// local sweeps are bit-identical. handled=false (no workers ever
+	// connected, unshardable bench) falls back to the in-process path.
+	// Cells needing a live metrics collector (MetricsInterval > 0) always
+	// run locally.
+	Remote RemoteExec
+	// MakeTap, when non-nil (and Telemetry is not attached), supplies a
+	// progress tap for each fresh local simulation — the fleet worker uses
+	// it to publish live cycle counts into its lease heartbeats.
+	MakeTap func(bench, key string) *sta.ProgressTap
+
 	mu      sync.Mutex
 	results map[string]*sta.Result
 	attribs map[string]*attrib.Report
@@ -191,6 +206,14 @@ type job struct {
 	cfg   sta.Config
 }
 
+// RemoteExec executes one cell somewhere else — the fleet coordinator
+// implements it. It returns the cell's deterministic result plus, when the
+// producing worker ran with attribution attached, its report. handled=false
+// means the executor declined the cell (no workers ever connected, bench
+// not shardable) and the Runner must simulate in-process; a non-nil err
+// with handled=true quarantines the cell with the classified failure.
+type RemoteExec func(ctx context.Context, bench string, cfg sta.Config) (res *sta.Result, rep *attrib.Report, handled bool, err error)
+
 // MemoKey renders the memoization key for a (benchmark, configuration)
 // cell — the identity under which results are cached, journaled to the
 // ledger, and content-addressed in the run archive. The rendering lives in
@@ -253,53 +276,80 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 	if err != nil {
 		return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 	}
-	m, err := sta.New(cfg, p)
-	if err != nil {
-		return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
-	}
-	switch {
-	case r.SimWorkers > 0:
-		m.Workers = r.SimWorkers
-	case r.SimWorkers < 0:
-		m.DisableParallel = true
-	default:
-		// Split the host between concurrent cells; the machine's own
-		// heuristic further trims the share for small TU counts.
-		cells := r.Workers
-		if cells <= 0 {
-			cells = runtime.GOMAXPROCS(0)
-		}
-		if w := runtime.GOMAXPROCS(0) / cells; w > 1 {
-			m.Workers = w
-		} else {
-			m.DisableParallel = true
-		}
-	}
-	var col *metrics.Collector
-	if r.MetricsInterval > 0 {
-		// Per-run collector: nothing is shared between workers.
-		col = metrics.NewCollector(r.MetricsInterval)
-		m.Metrics = col
-	}
-	var ac *attrib.Collector
-	if r.Attrib {
-		ac = attrib.NewCollector()
-		ac.TopN = r.AttribTopN
-		m.Attrib = ac
-	}
-	if cell != nil {
-		m.Tap = cell.Tap
-	}
-	simWorkers := m.Workers
-	if m.DisableParallel {
-		simWorkers = 0
-	}
+	var (
+		col        *metrics.Collector
+		rep        *attrib.Report
+		simWorkers int
+		remote     bool
+	)
 	simStart := time.Now()
-	res, err = r.runSupervised(k, m, cell)
-	simWall := time.Since(simStart)
-	if err != nil {
-		return nil, r.quarantine(k, bench, err)
+	if r.Remote != nil && r.MetricsInterval == 0 {
+		rres, rrep, handled, rerr := r.runRemote(bench, cfg, cell)
+		if handled {
+			remote = true
+			if rerr != nil {
+				return nil, r.quarantine(k, bench, rerr)
+			}
+			if rres == nil || (r.Attrib && rrep == nil) {
+				return nil, r.quarantine(k, bench, simerr.Errorf(simerr.Unknown, "harness.Result",
+					"remote executor returned an incomplete cell (result %v, attrib wanted %v)",
+					rres != nil, r.Attrib))
+			}
+			res, rep = rres, rrep
+		}
 	}
+	if !remote {
+		m, err := sta.New(cfg, p)
+		if err != nil {
+			return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
+		}
+		switch {
+		case r.SimWorkers > 0:
+			m.Workers = r.SimWorkers
+		case r.SimWorkers < 0:
+			m.DisableParallel = true
+		default:
+			// Split the host between concurrent cells; the machine's own
+			// heuristic further trims the share for small TU counts.
+			cells := r.Workers
+			if cells <= 0 {
+				cells = runtime.GOMAXPROCS(0)
+			}
+			if w := runtime.GOMAXPROCS(0) / cells; w > 1 {
+				m.Workers = w
+			} else {
+				m.DisableParallel = true
+			}
+		}
+		if r.MetricsInterval > 0 {
+			// Per-run collector: nothing is shared between workers.
+			col = metrics.NewCollector(r.MetricsInterval)
+			m.Metrics = col
+		}
+		var ac *attrib.Collector
+		if r.Attrib {
+			ac = attrib.NewCollector()
+			ac.TopN = r.AttribTopN
+			m.Attrib = ac
+		}
+		if cell != nil {
+			m.Tap = cell.Tap
+		} else if r.MakeTap != nil {
+			m.Tap = r.MakeTap(bench, k)
+		}
+		simWorkers = m.Workers
+		if m.DisableParallel {
+			simWorkers = 0
+		}
+		res, err = r.runSupervised(k, m, cell)
+		if err != nil {
+			return nil, r.quarantine(k, bench, err)
+		}
+		if ac != nil {
+			rep = ac.Report(res.Stats.Cycles)
+		}
+	}
+	simWall := time.Since(simStart)
 	if res.MemCheck != ref.MemCheck {
 		return nil, r.quarantine(k, bench, simerr.Errorf(simerr.BadProgram, "harness.Result",
 			"architectural mismatch: machine %#x, reference %#x (configuration changed results)",
@@ -309,21 +359,21 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 		return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 	}
 	if col != nil && r.MetricsDir != "" {
-		err := r.retryIO("harness.metrics", cell, func() error {
+		err := r.retryIO("harness.metrics", k, cell, func() error {
 			return classifyIO("harness.metrics", r.writeMetrics(bench, k, col, res.Stats.Cycles))
 		})
 		if err != nil {
 			return nil, r.quarantine(k, bench, err)
 		}
 	}
-	var rep *attrib.Report
-	if ac != nil {
-		rep = ac.Report(res.Stats.Cycles)
+	if rep != nil {
+		// Remote reports get the same internal-accounting check as local
+		// ones: a corrupted wire payload must not poison the memo table.
 		if err := rep.CheckInternal(); err != nil {
 			return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 		}
 		if r.AttribDir != "" {
-			err := r.retryIO("harness.attrib", cell, func() error {
+			err := r.retryIO("harness.attrib", k, cell, func() error {
 				return classifyIO("harness.attrib", r.writeAttrib(bench, k, rep))
 			})
 			if err != nil {
@@ -364,7 +414,7 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 		if rep != nil {
 			man.Attrib = runstore.SummarizeAttrib(rep)
 		}
-		err := r.retryIO("harness.archive", cell, func() error {
+		err := r.retryIO("harness.archive", k, cell, func() error {
 			return classifyIO("harness.archive", r.Archive.Put(man))
 		})
 		if err != nil {
@@ -372,7 +422,7 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 		}
 	}
 	if r.Ledger != nil {
-		err := r.retryIO("harness.ledger", cell, func() error { return r.Ledger.Append(k, res) })
+		err := r.retryIO("harness.ledger", k, cell, func() error { return r.Ledger.Append(k, res) })
 		if err != nil {
 			return nil, r.quarantine(k, bench, err)
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/chaos"
@@ -90,9 +91,24 @@ func OpenLedger(path string, scale int) (*Ledger, map[string]*sta.Result, error)
 		}
 		off += nl + 1
 	}
-	if err := f.Truncate(int64(off)); err != nil {
-		f.Close()
-		return nil, nil, simerr.Classify("harness.ledger", err, simerr.IO)
+	if off < len(data) {
+		// A torn (or corrupt) tail is being cut off. Truncation must reach
+		// stable storage before anything is appended after it: without the
+		// fsync pair, power loss after new appends could resurrect old tail
+		// bytes past the new entries, corrupting the journal mid-file
+		// instead of at its end.
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, simerr.Classify("harness.ledger", err, simerr.IO)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, simerr.Classify("harness.ledger", err, simerr.IO)
+		}
+		if err := syncDir(path); err != nil {
+			f.Close()
+			return nil, nil, simerr.Classify("harness.ledger", err, simerr.IO)
+		}
 	}
 	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
 		f.Close()
@@ -107,6 +123,21 @@ func OpenLedger(path string, scale int) (*Ledger, map[string]*sta.Result, error)
 		}
 	}
 	return l, prior, nil
+}
+
+// syncDir fsyncs the directory holding path, making a just-performed
+// truncation (or rename) durable across power loss.
+func syncDir(path string) error {
+	dir := filepath.Dir(path)
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // SetChaos attaches (or with nil detaches) a fault injector whose

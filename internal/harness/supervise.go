@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/attrib"
 	"repro/internal/chaos"
 	"repro/internal/simerr"
 	"repro/internal/sta"
@@ -152,27 +153,86 @@ func (r *Runner) runSupervised(k string, m *sta.Machine, cell *telemetry.Cell) (
 	return res, err
 }
 
+// runRemote offers one cell to the Remote executor, tracing the exchange
+// as a "remote" span when telemetry is attached (mirroring the "sim" span
+// of a local run).
+func (r *Runner) runRemote(bench string, cfg sta.Config, cell *telemetry.Cell) (*sta.Result, *attrib.Report, bool, error) {
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var sp *telemetry.Span
+	if cell != nil && r.Telemetry != nil {
+		sp = r.Telemetry.StartSpan("remote", "fleet", cell.Span)
+	}
+	res, rep, handled, err := r.Remote(ctx, bench, cfg)
+	if sp != nil {
+		var cycles uint64
+		if res != nil {
+			cycles = res.Stats.Cycles
+		}
+		outcome := telemetry.OutcomeOf(err)
+		if !handled {
+			outcome = "declined"
+		}
+		sp.EndAt(cycles, outcome, err)
+	}
+	return res, rep, handled, err
+}
+
 // simerrAs is errors.As pinned to *simerr.Error.
 func simerrAs(err error, target **simerr.Error) bool {
 	return errors.As(err, target)
 }
 
+// BackoffDelay returns the capped-exponential retry delay for an attempt
+// (0-based), scaled by a deterministic jitter factor in [0.75, 1.25) drawn
+// from a stream seeded by key — typically the cell's memo key. The same
+// (key, attempt, base, max) always yields the same delay, so retry
+// schedules are reproducible in tests; distinct keys decorrelate, so a
+// thundering herd of failed cells (or fleet lease reassignments, which
+// share this function) spreads out instead of retrying in lockstep.
+func BackoffDelay(key string, attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// splitmix64 over FNV(key) and the attempt number: a pure function,
+	// well-decorrelated across both inputs.
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	s := h.Sum64() + (uint64(attempt)+1)*0x9E3779B97F4A7C15
+	s ^= s >> 30
+	s *= 0xBF58476D1CE4E5B9
+	s ^= s >> 27
+	s *= 0x94D049BB133111EB
+	s ^= s >> 31
+	frac := float64(s>>11) / float64(1<<53) // [0, 1)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
+}
+
 // retryIO runs op, retrying IO-kind failures with capped exponential
-// backoff; any other kind (or exhausted retries) is returned as-is. IO
-// failures are the only class the supervisor treats as transient. With
-// telemetry attached, each re-attempt is counted, logged, and traced as a
-// "retry" span under the cell.
-func (r *Runner) retryIO(opName string, cell *telemetry.Cell, op func() error) error {
+// backoff under deterministic seeded jitter (see BackoffDelay; key is the
+// cell's memo key); any other kind (or exhausted retries) is returned
+// as-is. IO failures are the only class the supervisor treats as
+// transient. With telemetry attached, each re-attempt is counted, logged,
+// and traced as a "retry" span under the cell.
+func (r *Runner) retryIO(opName, key string, cell *telemetry.Cell, op func() error) error {
 	retries := r.Retries
 	if retries == 0 {
 		retries = 3
 	}
 	if retries < 0 {
 		retries = 0
-	}
-	backoff := r.RetryBackoff
-	if backoff <= 0 {
-		backoff = 5 * time.Millisecond
 	}
 	const maxBackoff = 250 * time.Millisecond
 	var err error
@@ -193,10 +253,7 @@ func (r *Runner) retryIO(opName string, cell *telemetry.Cell, op func() error) e
 		if r.Telemetry != nil {
 			r.Telemetry.NoteRetry(opName, attempt+1, err)
 		}
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
+		time.Sleep(BackoffDelay(key+"|"+opName, attempt, r.RetryBackoff, maxBackoff))
 	}
 }
 

@@ -125,7 +125,7 @@ func TestLedgerChaosFailuresAreIO(t *testing.T) {
 func TestRetryIO(t *testing.T) {
 	r := &Runner{RetryBackoff: time.Microsecond}
 	calls := 0
-	err := r.retryIO("test", nil, func() error {
+	err := r.retryIO("test", "key", nil, func() error {
 		calls++
 		if calls < 3 {
 			return simerr.Errorf(simerr.IO, "test", "transient")
@@ -137,7 +137,7 @@ func TestRetryIO(t *testing.T) {
 	}
 
 	calls = 0
-	err = r.retryIO("test", nil, func() error {
+	err = r.retryIO("test", "key", nil, func() error {
 		calls++
 		return simerr.Errorf(simerr.BadProgram, "test", "permanent")
 	})
@@ -146,7 +146,7 @@ func TestRetryIO(t *testing.T) {
 	}
 
 	calls = 0
-	err = r.retryIO("test", nil, func() error {
+	err = r.retryIO("test", "key", nil, func() error {
 		calls++
 		return simerr.Errorf(simerr.IO, "test", "always down")
 	})

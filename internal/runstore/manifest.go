@@ -118,6 +118,12 @@ type Manifest struct {
 	Stats    stats.Sim      `json:"stats"`
 	MemCheck uint64         `json:"mem_check"`
 	Attrib   *AttribSummary `json:"attrib,omitempty"`
+	// IntRegs is the architectural integer register file at halt. Together
+	// with Stats and MemCheck it reconstructs the full sta.Result, which lets
+	// the fleet coordinator answer a cell from the archive without
+	// re-simulating. Manifests written before this field existed omit it (and
+	// are not eligible for that fast path).
+	IntRegs []int64 `json:"int_regs,omitempty"`
 
 	// Artifacts maps artifact kind ("metrics", "attrib", "spans") to the
 	// path the producing run exported it at.
@@ -203,6 +209,7 @@ func New(bench string, scale int, cfg sta.Config, res *sta.Result) *Manifest {
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		Stats:       res.Stats,
 		MemCheck:    res.MemCheck,
+		IntRegs:     append([]int64(nil), res.IntRegs[:]...),
 	}
 }
 

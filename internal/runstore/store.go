@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -74,9 +75,23 @@ func Open(dir string) (*Store, error) {
 		}
 		off += nl + 1
 	}
-	if err := f.Truncate(int64(off)); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("runstore: %w", err)
+	if off < len(data) {
+		// A torn (or corrupt) tail is being cut off. As with the results
+		// ledger, the truncation must reach stable storage before new
+		// appends land after it, or power loss could resurrect stale tail
+		// bytes past the new entries.
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runstore: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runstore: %w", err)
+		}
+		if err := syncDir(path); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runstore: %w", err)
+		}
 	}
 	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
 		f.Close()
@@ -134,11 +149,13 @@ func (s *Store) Put(m *Manifest) error {
 	defer s.mu.Unlock()
 	if prev, ok := s.cells[m.CellKey]; ok &&
 		prev.MemoKey == m.MemoKey && prev.Stats == m.Stats && prev.MemCheck == m.MemCheck &&
-		(m.Attrib == nil || (prev.Attrib != nil && *prev.Attrib == *m.Attrib)) {
-		// Identical deterministic result carrying no new attribution:
-		// replayed ledger tails and re-runs converge on the stored cell. A
-		// re-run that attaches the attribution collector for the first time
-		// falls through and supersedes.
+		(m.Attrib == nil || (prev.Attrib != nil && *prev.Attrib == *m.Attrib)) &&
+		(len(m.IntRegs) == 0 || slices.Equal(prev.IntRegs, m.IntRegs)) {
+		// Identical deterministic result carrying no new attribution or
+		// register snapshot: replayed ledger tails and re-runs converge on
+		// the stored cell. A re-run that attaches the attribution collector
+		// — or records the register file (the fleet fast path's input) — for
+		// the first time falls through and supersedes.
 		return nil
 	}
 	dir := filepath.Join(s.root, m.CfgHash)
@@ -167,6 +184,20 @@ func (s *Store) Put(m *Manifest) error {
 	}
 	s.cells[m.CellKey] = m
 	return nil
+}
+
+// syncDir fsyncs the directory holding path, making a just-performed
+// truncation durable across power loss.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ManifestPath returns the per-cell JSON path a manifest was (or would be)

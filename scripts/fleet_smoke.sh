@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# Fleet smoke test: run a figure sweep through the distributed coordinator/
+# worker fleet while killing things, and assert the surviving output is
+# bit-identical to a pure in-process run. Four acts:
+#
+#   1. Reference: one clean in-process run with a ledger and an archive.
+#   2. Fleet under fire: a coordinator on a fixed port with three workers
+#      (two `experiments -fleet-connect`, one `stasim -fleet-connect`).
+#      One worker is SIGKILLed mid-sweep (its leases must expire and the
+#      cells reassign), then the coordinator itself is SIGKILLed and
+#      resumed from its ledger journal. Final CSV must be byte-identical
+#      to the reference, the ledgers canonically equal (last-wins by memo
+#      key), and the archives equal modulo provenance.
+#   3. Archive fast path: a coordinator pointed at the reference archive
+#      with NO workers must answer the whole sweep from content-addressed
+#      manifests — before its generous local-fallback timer could fire.
+#   4. Network chaos soak: two workers with seeded drop/delay/dup/trunc/
+#      self-kill fault injection; the sweep must still converge to the
+#      byte-identical CSV (at-least-once delivery made idempotent).
+#
+# Usage: scripts/fleet_smoke.sh [out-dir]   (artifacts land in out-dir)
+set -euo pipefail
+
+out=${1:-$(mktemp -d)}
+mkdir -p "$out"
+work=$(mktemp -d)
+exp=fig10
+port=9381
+
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/experiments" ./cmd/experiments
+go build -o "$work/stasim" ./cmd/stasim
+
+# --- Act 1: in-process reference ------------------------------------------
+"$work/experiments" -run "$exp" -format csv \
+    -ledger "$out/ref-ledger.jsonl" -archive "$out/ref-runs" > "$out/ref.csv"
+echo "reference: $(grep -c '"key"' "$out/ref-ledger.jsonl") cells journaled"
+
+# --- Act 2: fleet sweep with a worker kill and a coordinator kill ---------
+start_worker() { # start_worker <binary> <name> -> appends pid to pids
+    "$work/$1" -fleet-connect "http://127.0.0.1:$port" -fleet-name "$2" \
+        2>> "$out/workers.err" &
+    pids+=($!)
+}
+start_worker experiments w1
+start_worker experiments w2
+start_worker stasim w3
+
+"$work/experiments" -run "$exp" -format csv -fleet-listen "127.0.0.1:$port" \
+    -fleet-lease 1s -ledger "$out/fleet-ledger.jsonl" -archive "$out/fleet-runs" \
+    > "$out/fleet.csv" 2> "$out/coord.err" &
+coord=$!
+
+# SIGKILL one worker mid-sweep: its leases must expire and reassign.
+sleep 1
+kill -KILL "${pids[0]}" 2>/dev/null || true
+echo "killed worker w1 (pid ${pids[0]}) mid-sweep"
+
+# Then SIGKILL the coordinator itself: the ledger journal is the only
+# survivor. Workers keep retrying against the dead port.
+sleep 1.5
+kill -KILL "$coord" 2>/dev/null || true
+wait "$coord" 2>/dev/null || true
+done_cells=$(grep -c '"key"' "$out/fleet-ledger.jsonl" || true)
+echo "killed coordinator with $done_cells cells journaled"
+
+# Resume from the journal on the same port; the surviving workers rejoin
+# as fresh incarnations and finish the sweep.
+timeout 120 "$work/experiments" -run "$exp" -format csv \
+    -fleet-listen "127.0.0.1:$port" -fleet-lease 1s \
+    -ledger "$out/fleet-ledger.jsonl" -resume -archive "$out/fleet-runs" \
+    > "$out/fleet.csv" 2>> "$out/coord.err"
+
+if ! cmp -s "$out/ref.csv" "$out/fleet.csv"; then
+    echo "FAIL: fleet tables differ from the in-process run" >&2
+    diff "$out/ref.csv" "$out/fleet.csv" >&2 || true
+    exit 1
+fi
+echo "PASS: fleet tables are byte-identical to the in-process run"
+
+# Ledgers: entry ORDER differs (cells finish in fleet-arrival order, and a
+# reassigned cell may be journaled twice), but the last-wins key->result
+# map must be identical.
+python3 - "$out/ref-ledger.jsonl" "$out/fleet-ledger.jsonl" <<'EOF'
+import json, sys
+def canon(path):
+    cells = {}
+    with open(path) as f:
+        for i, line in enumerate(f):
+            doc = json.loads(line)
+            if i == 0:  # header
+                doc.pop("v", None)
+                hdr = doc
+                continue
+            cells[doc["key"]] = doc["result"]
+    return hdr, cells
+(h1, c1), (h2, c2) = canon(sys.argv[1]), canon(sys.argv[2])
+assert h1 == h2, f"ledger headers differ: {h1} vs {h2}"
+assert c1.keys() == c2.keys(), \
+    f"ledger cell sets differ: {sorted(c1.keys() ^ c2.keys())}"
+for k in c1:
+    assert c1[k] == c2[k], f"ledger results differ for {k}"
+print(f"PASS: ledgers canonically identical ({len(c1)} cells)")
+EOF
+
+# Archives: manifests must match modulo provenance (who simulated it,
+# when, at what wall clock) — the architectural payload is the contract.
+python3 - "$out/ref-runs" "$out/fleet-runs" <<'EOF'
+import json, pathlib, sys
+PROVENANCE = {"tool", "git_rev", "run_id", "wall_seconds", "generated",
+              "workers", "seed", "artifacts"}
+def canon(root):
+    cells = {}
+    for p in pathlib.Path(root).glob("*/*.json"):
+        m = json.loads(p.read_text())
+        for k in PROVENANCE:
+            m.pop(k, None)
+        cells[m["cell_key"]] = m
+    return cells
+a, b = canon(sys.argv[1]), canon(sys.argv[2])
+assert a.keys() == b.keys(), \
+    f"archive cell sets differ: {sorted(a.keys() ^ b.keys())}"
+for k in a:
+    assert a[k] == b[k], f"manifests differ for {k}:\n{a[k]}\n{b[k]}"
+print(f"PASS: archives identical modulo provenance ({len(a)} manifests)")
+EOF
+
+# --- Act 3: archive fast path ---------------------------------------------
+# No workers, a 60s fallback timer, a 30s budget: the only way to finish
+# in time is answering every cell from the reference archive.
+timeout 30 "$work/experiments" -run "$exp" -format csv \
+    -fleet-listen "127.0.0.1:$((port + 1))" -fleet-fallback 60s \
+    -archive "$out/ref-runs" > "$out/cached.csv" 2> "$out/cached-coord.err"
+echo "archive answered $(grep -c 'answered from archive' "$out/cached-coord.err") cells"
+if ! cmp -s "$out/ref.csv" "$out/cached.csv"; then
+    echo "FAIL: archive-served tables differ from the in-process run" >&2
+    diff "$out/ref.csv" "$out/cached.csv" >&2 || true
+    exit 1
+fi
+echo "PASS: sweep answered entirely from the content-addressed archive"
+
+# --- Act 4: seeded network chaos soak -------------------------------------
+chaos_port=$((port + 2))
+for name in c1 c2; do
+    "$work/experiments" -fleet-connect "http://127.0.0.1:$chaos_port" \
+        -fleet-name "$name" -fleet-chaos-seed 7 \
+        -fleet-chaos-drop 0.10 -fleet-chaos-delay 0.10 \
+        -fleet-chaos-dup 0.10 -fleet-chaos-trunc 0.10 \
+        -fleet-chaos-kill 0.03 2>> "$out/workers.err" &
+    pids+=($!)
+done
+timeout 300 "$work/experiments" -run "$exp" -format csv \
+    -fleet-listen "127.0.0.1:$chaos_port" -fleet-lease 1s \
+    > "$out/chaos.csv" 2> "$out/chaos-coord.err"
+if ! cmp -s "$out/ref.csv" "$out/chaos.csv"; then
+    echo "FAIL: tables under network chaos differ from the in-process run" >&2
+    diff "$out/ref.csv" "$out/chaos.csv" >&2 || true
+    exit 1
+fi
+echo "PASS: network-chaos sweep converged to the byte-identical tables"
+
+echo "fleet smoke: all acts passed (artifacts in $out)"
