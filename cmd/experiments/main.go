@@ -64,6 +64,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/runstore"
+	"repro/internal/sample"
 	"repro/internal/telemetry"
 )
 
@@ -89,6 +90,11 @@ func run() int {
 		telemetryAddr = flag.String("telemetry-addr", "", "serve live introspection HTTP (/metrics, /runs, /healthz, /debug/pprof) on this address")
 		telemetryDir  = flag.String("telemetry-dir", "", "write the span journal (spans.jsonl) and flight-recorder dumps into this directory")
 		spanTimeline  = flag.String("span-timeline", "", "convert a span JSONL file to Perfetto trace JSON (writes <file>.trace.json) and exit")
+
+		sampleWarmup  = flag.Uint64("sample-warmup", 0, "sampled simulation: detailed-but-unmeasured warmup instructions per period")
+		sampleMeasure = flag.Uint64("sample-measure", 0, "sampled simulation: measured detailed instructions per period (0 = fully detailed runs)")
+		samplePeriod  = flag.Uint64("sample-period", 0, "sampled simulation: period length in instructions (must exceed warmup+measure; the rest fast-forwards)")
+		sampleSeed    = flag.Uint64("sample-seed", 0, "sampled simulation: bootstrap RNG seed for the confidence intervals (0 = default)")
 
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit per simulation (0 = none)")
 		ledgerPath = flag.String("ledger", "", "journal completed simulations to this JSONL file")
@@ -216,6 +222,15 @@ func run() int {
 		r.MetricsDir = *metricsDir
 	}
 	r.MetricsInterval = *interval
+	r.Sample = sample.Config{
+		WarmupInsts:  *sampleWarmup,
+		MeasureInsts: *sampleMeasure,
+		PeriodInsts:  *samplePeriod,
+		Seed:         *sampleSeed,
+	}
+	if err := r.Sample.Validate(); err != nil {
+		return fail(err)
+	}
 	if *attribDir != "" {
 		if err := os.MkdirAll(*attribDir, 0o755); err != nil {
 			return fail(err)

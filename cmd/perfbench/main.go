@@ -35,6 +35,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/sample"
 	"repro/internal/sta"
 	"repro/internal/workload"
 )
@@ -48,6 +49,10 @@ type Entry struct {
 	SimCyclesPerOp  float64 `json:"sim_cycles_per_op"`
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 	Runs            int     `json:"runs"`
+	// GoMaxProcs is set only on the scaling-curve entries that pin their
+	// own CPU budget (gomax1/2/4); everything else runs under the ambient
+	// budget recorded at the report level.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 }
 
 // Report is the BENCH_speed.json document.
@@ -79,6 +84,15 @@ type scenario struct {
 	workers  int    // sta.Machine.Workers; 0 = machine default
 	serial   bool   // force sequential stepping (DisableParallel)
 	tap      bool   // attach a telemetry progress tap (sta.Machine.Tap)
+	gomax    int    // pin runtime.GOMAXPROCS for this scenario; 0 = ambient
+	sampled  bool   // run under the standard sampled-simulation regime
+}
+
+// sampleRegime is the fixed sampling configuration the sampled scenarios
+// (and the CI accuracy smoke) use: 1k warmup + 2k measured instructions per
+// 12k-instruction period, i.e. 25% detailed coverage.
+func sampleRegime() sample.Config {
+	return sample.Config{WarmupInsts: 1000, MeasureInsts: 2000, PeriodInsts: 12000}
 }
 
 func scenarios() []scenario {
@@ -119,6 +133,25 @@ func scenarios() []scenario {
 				bench: "mcf", cfgName: config.WTHWPWEC, tus: tus, workers: 4},
 		)
 	}
+	// Parallel-scaling curve: the same par4 machine under pinned CPU
+	// budgets. allocs/op and sim-cycles/op are identical across the three
+	// (the compute/commit split is deterministic regardless of how many OS
+	// threads back the workers); only ns/op moves, and the gomax1→2→4 ratio
+	// IS the scaling curve BENCH_speed.json records. On a single-core host
+	// the curve is flat — the deterministic gates still hold.
+	for _, g := range []int{1, 2, 4} {
+		out = append(out, scenario{
+			name:    fmt.Sprintf("scale/mcf/wth-wp-wec/32tu/par4/gomax%d", g),
+			bench:   "mcf", cfgName: config.WTHWPWEC, tus: 32, workers: 4, gomax: g,
+		})
+	}
+	// Sampled simulation under the standard regime (25% detailed coverage):
+	// the headline benchmark again, so the sampled-vs-detailed ns/op ratio
+	// for sim/mcf/wth-wp-wec/8tu is readable straight off the report.
+	out = append(out, scenario{
+		name:  "sim/mcf/wth-wp-wec/8tu+sampled",
+		bench: "mcf", cfgName: config.WTHWPWEC, tus: 8, sampled: true,
+	})
 	return out
 }
 
@@ -140,6 +173,10 @@ func measure(sc scenario) (Entry, error) {
 }
 
 func run(sc scenario, cfg sta.Config, prog *isa.Program) (Entry, error) {
+	if sc.gomax > 0 {
+		prev := runtime.GOMAXPROCS(sc.gomax)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	var cycles uint64
 	var failure error
 	res := testing.Benchmark(func(b *testing.B) {
@@ -153,6 +190,9 @@ func run(sc scenario, cfg sta.Config, prog *isa.Program) (Entry, error) {
 			}
 			m.Workers = sc.workers
 			m.DisableParallel = sc.serial
+			if sc.sampled {
+				m.Sample = sampleRegime()
+			}
 			if sc.interval > 0 {
 				m.Metrics = metrics.NewCollector(sc.interval)
 			}
@@ -179,6 +219,7 @@ func run(sc scenario, cfg sta.Config, prog *isa.Program) (Entry, error) {
 		SimCyclesPerOp:  perOp,
 		SimCyclesPerSec: perOp / (float64(res.NsPerOp()) / 1e9),
 		Runs:            res.N,
+		GoMaxProcs:      sc.gomax,
 	}, nil
 }
 

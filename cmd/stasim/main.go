@@ -60,6 +60,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/metrics"
 	"repro/internal/runstore"
+	"repro/internal/sample"
 	"repro/internal/simerr"
 	"repro/internal/sta"
 	"repro/internal/telemetry"
@@ -91,6 +92,11 @@ func main() {
 		attribJSON   = flag.String("attrib-json", "", "write the attribution report as JSON to this file (implies -attrib)")
 		attribTop    = flag.Int("attrib-top", attrib.DefaultTopN, "per-PC rows in the attribution report")
 		attribWindow = flag.Uint64("attrib-window", 0, "pollution re-miss window in cycles (0 = default)")
+
+		sampleWarmup  = flag.Uint64("sample-warmup", 0, "sampled simulation: detailed-but-unmeasured warmup instructions per period")
+		sampleMeasure = flag.Uint64("sample-measure", 0, "sampled simulation: measured detailed instructions per period (0 = fully detailed run)")
+		samplePeriod  = flag.Uint64("sample-period", 0, "sampled simulation: period length in instructions (must exceed warmup+measure; the rest fast-forwards)")
+		sampleSeed    = flag.Uint64("sample-seed", 0, "sampled simulation: bootstrap RNG seed for the confidence intervals (0 = default)")
 
 		dumpOnHang = flag.Bool("dump-on-hang", false, "on a deadlock or runaway failure, print the per-TU machine state dump to stderr")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
@@ -208,6 +214,14 @@ func main() {
 
 	m, err := sta.New(cfg, prog)
 	fatal(err)
+	sc := sample.Config{
+		WarmupInsts:  *sampleWarmup,
+		MeasureInsts: *sampleMeasure,
+		PeriodInsts:  *samplePeriod,
+		Seed:         *sampleSeed,
+	}
+	fatal(sc.Validate())
+	m.Sample = sc
 	if *doTrace {
 		m.Trace = trace.Writer{W: os.Stderr}
 	}
@@ -328,6 +342,20 @@ func main() {
 		s.L2Accesses, s.L2Misses, s.MemAccesses)
 	fmt.Printf("update traffic   %d bus transactions\n", s.UpdateTraffic)
 	fmt.Printf("memory checksum  %#x\n", res.MemCheck)
+	if sp := s.Sampled; sp != nil {
+		total := sp.DetailedInsts + sp.FFInsts
+		cov := 0.0
+		if total > 0 {
+			cov = 100 * float64(sp.DetailedInsts) / float64(total)
+		}
+		fmt.Printf("sampling         %d windows (warmup %d / measure %d / period %d insts)\n",
+			sp.Windows, sp.WarmupInsts, sp.MeasureInsts, sp.PeriodInsts)
+		fmt.Printf("  detailed       %d insts in %d cycles (%.1f%% coverage); fast-forwarded %d insts\n",
+			sp.DetailedInsts, sp.DetailedCycles, cov, sp.FFInsts)
+		fmt.Printf("  est. cycles    %.0f  [%.0f, %.0f] 95%% CI\n", sp.EstCycles, sp.EstCyclesLo, sp.EstCyclesHi)
+		fmt.Printf("  est. IPC       %.3f  [%.3f, %.3f]\n", sp.IPC, sp.IPCLo, sp.IPCHi)
+		fmt.Printf("  est. L1D miss  %.4f  [%.4f, %.4f]\n", sp.L1DMiss, sp.L1DMissLo, sp.L1DMissHi)
+	}
 
 	var rep *attrib.Report
 	if ac != nil {

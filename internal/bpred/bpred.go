@@ -105,6 +105,22 @@ func (p *Predictor) UpdateDirection(pc int, taken, predicted bool) {
 	p.dir.Update(pc, taken)
 }
 
+// Warm trains the direction predictor with a functionally executed branch
+// outcome without touching the lookup/misprediction statistics. The
+// sampled-simulation fast-forward path uses it so the predictor enters each
+// measurement window in the state a detailed run would have built, while
+// reported accuracy still reflects detailed execution only.
+func (p *Predictor) Warm(pc int, taken bool) {
+	p.dir.Update(pc, taken)
+}
+
+// WarmCall/WarmRet mirror JAL/JR on the return-address stack during
+// fast-forward, keeping call-depth alignment across measurement windows.
+func (p *Predictor) WarmCall(ret int) { p.PushRAS(ret) }
+
+// WarmRet pops the RAS (see WarmCall); an empty stack is a no-op.
+func (p *Predictor) WarmRet() { p.PopRAS() }
+
 // LookupTarget consults the BTB for pc's branch target.
 func (p *Predictor) LookupTarget(pc int) (int, bool) {
 	sets := len(p.btbTags)

@@ -142,48 +142,95 @@ type wrongLoad struct {
 	pc   int
 }
 
-type operand struct {
-	ready bool
-	rob   int // producer ROB slot when !ready
-	ival  int64
-	fval  float64
-}
+// Per-entry flag bits (robSoA.flags). Cleared at dispatch; every read of a
+// value array below is gated by one of these (or by state), so stale values
+// from a slot's previous occupant are never observable.
+const (
+	fUse1      uint8 = 1 << iota // operand 1 is read by this instruction
+	fUse2                        // operand 2 is read
+	fS1Rdy                       // operand 1 value resolved
+	fS2Rdy                       // operand 2 value resolved
+	fAddrKnown                   // effective address computed
+	fMemIssued                   // load has accessed memory (or forwarded)
+	fValKnown                    // store data ready
+)
 
-type robEntry struct {
-	inst isa.Inst
-	pc   int
+// Branch-bookkeeping bits (robSoA.bflags).
+const (
+	bPredTaken uint8 = 1 << iota // predicted taken at dispatch
+	bTaken                       // resolved direction
+	bMispredict                  // prediction missed
+)
 
-	state  uint8
-	doneAt uint64
+// robSoA is the reorder buffer in structure-of-arrays layout, one parallel
+// array per field, indexed by ROB slot. The per-cycle sweeps — complete and
+// NextWake walk the executing set touching state/doneAt/req, issue walks
+// the ready set touching flags and operand values, recover re-scans
+// everything — each visit only a few fields of many entries, so parallel
+// arrays keep every sweep's working set dense instead of striding a
+// ~200-byte struct per element.
+//
+// Wake-up chain: waitHead is the first waiter on an entry's result; each
+// link encodes consumer slot*2+operand, and wNext0/wNext1 hold a waiter's
+// own next-waiter links, one per operand. Registration happens at dispatch
+// (readOperand found a non-ready producer); broadcast consumes the chain.
+// Squash recovery rebuilds all chains from the surviving entries.
+type robSoA struct {
+	inst   []isa.Inst
+	pc     []int32
+	state  []uint8
+	flags  []uint8
+	bflags []uint8
+	doneAt []uint64
 
-	src1, src2 operand
-	use1, use2 bool
+	// Operand capture: producer slot while waiting, value once resolved.
+	s1rob []int32
+	s2rob []int32
+	s1i   []int64
+	s2i   []int64
+	s1f   []float64
+	s2f   []float64
 
-	// Intrusive wake-up chain: waitHead is the first waiter on this
-	// entry's result; each waiter link encodes consumer slot*2+operand.
-	// wNext holds this entry's own next-waiter links, one per operand.
-	// Registration happens at dispatch (readOperand returned a non-ready
-	// producer); broadcast consumes the chain. Squash recovery rebuilds
-	// all chains from the surviving entries.
-	waitHead int32
-	wNext    [2]int32
+	waitHead []int32
+	wNext0   []int32
+	wNext1   []int32
 
-	ival int64
-	fval float64
+	// Results.
+	ival []int64
+	fval []float64
 
-	// Branch bookkeeping.
-	predTaken  bool
-	predTarget int
-	taken      bool // resolved direction
-	mispredict bool
+	predTarget []int32
 
 	// Memory bookkeeping.
-	addr      uint64
-	addrKnown bool
-	memIssued bool
-	req       *mem.Request
-	storeBits int64
-	valKnown  bool // store data ready
+	addr      []uint64
+	storeBits []int64
+	req       []*mem.Request
+}
+
+func newROB(n int) robSoA {
+	return robSoA{
+		inst:       make([]isa.Inst, n),
+		pc:         make([]int32, n),
+		state:      make([]uint8, n),
+		flags:      make([]uint8, n),
+		bflags:     make([]uint8, n),
+		doneAt:     make([]uint64, n),
+		s1rob:      make([]int32, n),
+		s2rob:      make([]int32, n),
+		s1i:        make([]int64, n),
+		s2i:        make([]int64, n),
+		s1f:        make([]float64, n),
+		s2f:        make([]float64, n),
+		waitHead:   make([]int32, n),
+		wNext0:     make([]int32, n),
+		wNext1:     make([]int32, n),
+		ival:       make([]int64, n),
+		fval:       make([]float64, n),
+		predTarget: make([]int32, n),
+		addr:       make([]uint64, n),
+		storeBits:  make([]int64, n),
+		req:        make([]*mem.Request, n),
+	}
 }
 
 // Stats collects the core's own counters.
@@ -213,7 +260,7 @@ type Core struct {
 	FPRegs  [isa.NumFPRegs]float64
 
 	// Pipeline state.
-	rob       []robEntry
+	rob       robSoA
 	robHead   int
 	robTail   int // next free slot
 	robCount  int
@@ -328,7 +375,7 @@ func New(cfg Config, prog *isa.Program, imem *mem.IUnit, dmem DMem, env Env) (*C
 		imem:      imem,
 		bp:        bp,
 		prog:      prog,
-		rob:       make([]robEntry, cfg.ROBSize),
+		rob:       newROB(cfg.ROBSize),
 		lsqBuf:    make([]int, cfg.LSQSize),
 		readyMask: make([]uint64, words),
 		execMask:  make([]uint64, words),
@@ -409,6 +456,32 @@ func (c *Core) ContinueAt(pc int) {
 // Predictor exposes the branch predictor (stats).
 func (c *Core) Predictor() *bpred.Predictor { return c.bp }
 
+// Quiet reports that the core holds no in-flight state at all: not
+// running, empty ROB, and an empty wrong-load queue (a detached TU's core
+// keeps draining wrong loads after its thread ends). Sampling safepoints
+// require every non-running core quiet so a functional fast-forward never
+// races in-flight pipeline work.
+func (c *Core) Quiet() bool {
+	return !c.running && c.robCount == 0 && len(c.wrongQ) == 0
+}
+
+// SquashForSample flushes the pipeline ahead of a functional fast-forward
+// and returns the architecturally exact resume PC: the oldest un-retired
+// instruction when the ROB holds any (commit has already written
+// everything older into the architectural registers), the fetch PC
+// otherwise. The core is left stopped; the fast-forward leg runs the
+// functional engine over the architectural state and ContinueAt resumes
+// detailed execution.
+func (c *Core) SquashForSample() int {
+	pc := c.fetchPC
+	if c.robCount > 0 {
+		pc = int(c.rob.pc[c.robHead])
+	}
+	c.clearPipeline()
+	c.running = false
+	return pc
+}
+
 func (c *Core) clearPipeline() {
 	c.releaseInFlight()
 	c.robHead, c.robTail, c.robCount = 0, 0, 0
@@ -434,10 +507,10 @@ func (c *Core) clearPipeline() {
 // still pending in an MSHR).
 func (c *Core) releaseInFlight() {
 	for p := 0; p < c.robCount; p++ {
-		e := &c.rob[(c.robHead+p)%len(c.rob)]
-		if e.req != nil {
-			e.req.Release()
-			e.req = nil
+		idx := (c.robHead + p) % c.cfg.ROBSize
+		if r := c.rob.req[idx]; r != nil {
+			r.Release()
+			c.rob.req[idx] = nil
 		}
 	}
 }
@@ -447,7 +520,9 @@ func (c *Core) DebugHead() string {
 	if c.robCount == 0 {
 		return fmt.Sprintf("rob empty fetchPC=%d running=%v", c.fetchPC, c.running)
 	}
-	e := &c.rob[c.robHead]
+	idx := c.robHead
+	f := c.rob.flags[idx]
 	return fmt.Sprintf("head={%v pc=%d st=%d memIssued=%v addrKnown=%v req=%v} n=%d fetchPC=%d",
-		e.inst.Op, e.pc, e.state, e.memIssued, e.addrKnown, e.req != nil, c.robCount, c.fetchPC)
+		c.rob.inst[idx].Op, c.rob.pc[idx], c.rob.state[idx],
+		f&fMemIssued != 0, f&fAddrKnown != 0, c.rob.req[idx] != nil, c.robCount, c.fetchPC)
 }

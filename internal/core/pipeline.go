@@ -58,14 +58,14 @@ func (c *Core) NextWake(cycle uint64) uint64 {
 		if c.redirectStall > 0 {
 			return cycle + 1 // decrements every fetched cycle
 		}
-		if c.robCount < len(c.rob) {
+		if c.robCount < c.cfg.ROBSize {
 			in := c.prog.At(c.fetchPC)
 			if !(in.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize) {
 				return cycle + 1
 			}
 		}
 	}
-	if c.robCount > 0 && c.rob[c.robHead].state == stDone {
+	if c.robCount > 0 && c.rob.state[c.robHead] == stDone {
 		return cycle + 1 // commit can retire
 	}
 	for _, w := range c.readyMask {
@@ -81,15 +81,15 @@ func (c *Core) NextWake(cycle uint64) uint64 {
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
 			word &^= 1 << uint(b)
-			e := &c.rob[wi<<6|b]
-			if e.req != nil {
-				if e.req.Done && e.req.DoneCycle < wake {
-					wake = e.req.DoneCycle
+			idx := wi<<6 | b
+			if r := c.rob.req[idx]; r != nil {
+				if r.Done && r.DoneCycle < wake {
+					wake = r.DoneCycle
 				}
 				continue
 			}
-			if e.doneAt < wake {
-				wake = e.doneAt
+			if c.rob.doneAt[idx] < wake {
+				wake = c.rob.doneAt[idx]
 			}
 		}
 	}
@@ -104,26 +104,31 @@ func (c *Core) NextWake(cycle uint64) uint64 {
 func maskSet(m []uint64, i int)   { m[i>>6] |= 1 << (uint(i) & 63) }
 func maskClear(m []uint64, i int) { m[i>>6] &^= 1 << (uint(i) & 63) }
 
-// entryReady reports whether a dispatched entry has all operands ready.
-func entryReady(e *robEntry) bool {
-	return (!e.use1 || e.src1.ready) && (!e.use2 || e.src2.ready)
+// entryReady reports whether a dispatched entry has all operands ready:
+// neither used operand may still be unresolved.
+func (c *Core) entryReady(idx int) bool {
+	f := c.rob.flags[idx]
+	return f&(fUse1|fS1Rdy) != fUse1 && f&(fUse2|fS2Rdy) != fUse2
 }
 
 // addWaiter links waiter slot's operand op onto producer prod's wake-up
 // chain. Node encoding: slot*2 + op.
 func (c *Core) addWaiter(prod, slot, op int) {
-	w := &c.rob[slot]
-	w.wNext[op] = c.rob[prod].waitHead
-	c.rob[prod].waitHead = int32(slot<<1 | op)
+	if op == 0 {
+		c.rob.wNext0[slot] = c.rob.waitHead[prod]
+	} else {
+		c.rob.wNext1[slot] = c.rob.waitHead[prod]
+	}
+	c.rob.waitHead[prod] = int32(slot<<1 | op)
 }
 
 func (c *Core) slotAt(agePos int) int {
-	return (c.robHead + agePos) % len(c.rob)
+	return (c.robHead + agePos) % c.cfg.ROBSize
 }
 
 // posOf is the age position of a ROB slot (inverse of slotAt).
 func (c *Core) posOf(slot int) int {
-	return (slot - c.robHead + len(c.rob)) % len(c.rob)
+	return (slot - c.robHead + c.cfg.ROBSize) % c.cfg.ROBSize
 }
 
 // commit retires up to IssueWidth done entries from the ROB head, applying
@@ -131,23 +136,22 @@ func (c *Core) posOf(slot int) int {
 func (c *Core) commit(cycle uint64) {
 	for n := 0; n < c.cfg.IssueWidth && c.robCount > 0; n++ {
 		idx := c.robHead
-		e := &c.rob[idx]
-		if e.state != stDone {
+		if c.rob.state[idx] != stDone {
 			return
 		}
-		in := e.inst
+		in := c.rob.inst[idx]
 		if isCtl(in.Op) {
 			c.ctlInFlight--
 		}
 		// Architectural register writeback.
 		if in.HasDest() {
 			if in.Op.FPDest() {
-				c.FPRegs[in.Rd] = e.fval
+				c.FPRegs[in.Rd] = c.rob.fval[idx]
 				if c.renameFP[in.Rd] == idx {
 					c.renameFP[in.Rd] = -1
 				}
 			} else {
-				c.IntRegs[in.Rd] = e.ival
+				c.IntRegs[in.Rd] = c.rob.ival[idx]
 				if c.renameInt[in.Rd] == idx {
 					c.renameInt[in.Rd] = -1
 				}
@@ -164,22 +168,24 @@ func (c *Core) commit(cycle uint64) {
 			c.popLSQ(idx)
 		case isa.ST, isa.FST:
 			c.Stats.Stores++
-			c.dmem.CommitStore(cycle, e.addr, e.storeBits, false, e.pc)
+			c.dmem.CommitStore(cycle, c.rob.addr[idx], c.rob.storeBits[idx], false, int(c.rob.pc[idx]))
 			c.popLSQ(idx)
 		case isa.TST:
 			c.Stats.Stores++
-			c.dmem.CommitStore(cycle, e.addr, e.storeBits, true, e.pc)
+			c.dmem.CommitStore(cycle, c.rob.addr[idx], c.rob.storeBits[idx], true, int(c.rob.pc[idx]))
 			c.popLSQ(idx)
 		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
 			c.Stats.Branches++
+			bf := c.rob.bflags[idx]
 			if TraceBranches > 0 {
 				TraceBranches--
-				fmt.Printf("commit br pc=%d pred=%v taken=%v mispred=%v\n", e.pc, e.predTaken, e.taken, e.mispredict)
+				fmt.Printf("commit br pc=%d pred=%v taken=%v mispred=%v\n",
+					c.rob.pc[idx], bf&bPredTaken != 0, bf&bTaken != 0, bf&bMispredict != 0)
 			}
 			// Train the direction predictor at commit so wrong-path
 			// branches never pollute it; count only committed mispredicts.
-			c.bp.UpdateDirection(e.pc, e.taken, e.predTaken)
-			if e.mispredict {
+			c.bp.UpdateDirection(int(c.rob.pc[idx]), bf&bTaken != 0, bf&bPredTaken != 0)
+			if bf&bMispredict != 0 {
 				c.Stats.Mispredicts++
 			}
 		case isa.BEGIN:
@@ -189,7 +195,7 @@ func (c *Core) commit(cycle uint64) {
 		case isa.TSAGD:
 			c.env.OnTsagd(cycle)
 		case isa.TSA:
-			c.env.OnTsa(cycle, uint64(e.ival))
+			c.env.OnTsa(cycle, uint64(c.rob.ival[idx]))
 		case isa.THEND:
 			if c.cfg.SeqLoops {
 				c.env.OnThend(cycle)
@@ -202,13 +208,14 @@ func (c *Core) commit(cycle uint64) {
 			return
 		case isa.ABORT:
 			if c.cfg.SeqLoops {
-				c.env.OnAbort(cycle, e.pc+1)
+				c.env.OnAbort(cycle, int(c.rob.pc[idx])+1)
 				break
 			}
+			resume := int(c.rob.pc[idx]) + 1
 			c.retireROBHead()
 			c.running = false
 			c.squashAll()
-			c.env.OnAbort(cycle, e.pc+1)
+			c.env.OnAbort(cycle, resume)
 			return
 		case isa.HALT:
 			c.retireROBHead()
@@ -222,7 +229,7 @@ func (c *Core) commit(cycle uint64) {
 }
 
 func (c *Core) retireROBHead() {
-	c.robHead = (c.robHead + 1) % len(c.rob)
+	c.robHead = (c.robHead + 1) % c.cfg.ROBSize
 	c.robCount--
 }
 
@@ -282,7 +289,7 @@ func (c *Core) complete(cycle uint64) {
 	if c.robCount == 0 {
 		return
 	}
-	n := len(c.rob)
+	n := c.cfg.ROBSize
 	end := c.robHead + c.robCount
 	if end <= n {
 		c.completeRange(cycle, c.robHead, end)
@@ -312,24 +319,23 @@ func (c *Core) completeRange(cycle uint64, lo, hi int) bool {
 			b := bits.TrailingZeros64(word)
 			word &^= 1 << uint(b)
 			idx := w<<6 | b
-			e := &c.rob[idx]
-			if e.req != nil {
-				if e.req.Done && e.req.DoneCycle <= cycle {
-					e.req.Release()
-					e.req = nil
-					e.state = stDone
+			if r := c.rob.req[idx]; r != nil {
+				if r.Done && r.DoneCycle <= cycle {
+					r.Release()
+					c.rob.req[idx] = nil
+					c.rob.state[idx] = stDone
 					maskClear(c.execMask, idx)
 					c.broadcast(idx)
 				}
 				continue
 			}
-			if e.doneAt > cycle {
+			if c.rob.doneAt[idx] > cycle {
 				continue
 			}
-			e.state = stDone
+			c.rob.state[idx] = stDone
 			maskClear(c.execMask, idx)
 			c.broadcast(idx)
-			if e.inst.Op.IsBranch() || e.inst.Op == isa.JR {
+			if op := c.rob.inst[idx].Op; op.IsBranch() || op == isa.JR {
 				if c.resolveControl(cycle, idx, c.posOf(idx)) {
 					return false // recovery squashed everything younger
 				}
@@ -342,34 +348,40 @@ func (c *Core) completeRange(cycle uint64, lo, hi int) bool {
 // broadcast forwards a completed entry's result to the consumers chained on
 // its wake-up list.
 func (c *Core) broadcast(idx int) {
-	e := &c.rob[idx]
-	node := e.waitHead
-	e.waitHead = -1
+	node := c.rob.waitHead[idx]
+	c.rob.waitHead[idx] = -1
+	iv, fv := c.rob.ival[idx], c.rob.fval[idx]
 	for node >= 0 {
 		k := int(node >> 1)
 		op := int(node & 1)
-		w := &c.rob[k]
-		next := w.wNext[op]
-		w.wNext[op] = -1
+		var next int32
+		if op == 0 {
+			next = c.rob.wNext0[k]
+			c.rob.wNext0[k] = -1
+		} else {
+			next = c.rob.wNext1[k]
+			c.rob.wNext1[k] = -1
+		}
 		// Validate the link: the waiter must still be a live dispatched
 		// entry waiting on this producer (squash rebuilds chains, so stale
 		// links should not occur; this guards the invariant cheaply).
-		if w.state == stDispatched && c.posOf(k) < c.robCount {
+		if c.rob.state[k] == stDispatched && c.posOf(k) < c.robCount {
+			f := c.rob.flags[k]
 			if op == 0 {
-				if w.use1 && !w.src1.ready && w.src1.rob == idx {
-					w.src1.ready = true
-					w.src1.ival = e.ival
-					w.src1.fval = e.fval
-					if entryReady(w) {
+				if f&fUse1 != 0 && f&fS1Rdy == 0 && int(c.rob.s1rob[k]) == idx {
+					c.rob.flags[k] = f | fS1Rdy
+					c.rob.s1i[k] = iv
+					c.rob.s1f[k] = fv
+					if c.entryReady(k) {
 						maskSet(c.readyMask, k)
 					}
 				}
 			} else {
-				if w.use2 && !w.src2.ready && w.src2.rob == idx {
-					w.src2.ready = true
-					w.src2.ival = e.ival
-					w.src2.fval = e.fval
-					if entryReady(w) {
+				if f&fUse2 != 0 && f&fS2Rdy == 0 && int(c.rob.s2rob[k]) == idx {
+					c.rob.flags[k] = f | fS2Rdy
+					c.rob.s2i[k] = iv
+					c.rob.s2f[k] = fv
+					if c.entryReady(k) {
 						maskSet(c.readyMask, k)
 					}
 				}
@@ -383,30 +395,33 @@ func (c *Core) broadcast(idx int) {
 // prediction, training the predictor and recovering on a mismatch. Returns
 // true when recovery squashed younger entries.
 func (c *Core) resolveControl(cycle uint64, idx, agePos int) bool {
-	e := &c.rob[idx]
+	in := c.rob.inst[idx]
 	var taken bool
 	var target int
-	if e.inst.Op == isa.JR {
+	if in.Op == isa.JR {
 		taken = true
-		target = int(e.src1.ival)
+		target = int(c.rob.s1i[idx])
 	} else {
-		taken = isa.BranchTaken(e.inst, e.src1.ival, e.src2.ival)
-		target = int(e.inst.Imm)
+		taken = isa.BranchTaken(in, c.rob.s1i[idx], c.rob.s2i[idx])
+		target = int(in.Imm)
 	}
-	e.taken = taken
-	actualNext := e.pc + 1
+	if taken {
+		c.rob.bflags[idx] |= bTaken
+	}
+	pc := int(c.rob.pc[idx])
+	actualNext := pc + 1
 	if taken {
 		actualNext = target
 	}
-	predNext := e.pc + 1
-	if e.predTaken {
-		predNext = e.predTarget
+	predNext := pc + 1
+	if c.rob.bflags[idx]&bPredTaken != 0 {
+		predNext = int(c.rob.predTarget[idx])
 	}
 	if actualNext == predNext {
 		return false
 	}
-	e.mispredict = true
-	if e.inst.Op == isa.JR {
+	c.rob.bflags[idx] |= bMispredict
+	if in.Op == isa.JR {
 		// Indirect-jump mispredicts are rare; count them at resolution.
 		c.Stats.Mispredicts++
 	}
@@ -421,25 +436,26 @@ func (c *Core) resolveControl(cycle uint64, idx, agePos int) bool {
 func (c *Core) recover(cycle uint64, agePos, nextPC int) {
 	for p := agePos + 1; p < c.robCount; p++ {
 		idx := c.slotAt(p)
-		e := &c.rob[idx]
+		in := c.rob.inst[idx]
 		c.Stats.SquashedInsts++
-		if isCtl(e.inst.Op) {
+		if isCtl(in.Op) {
 			c.ctlInFlight--
 		}
-		if e.req != nil {
-			e.req.Release()
-			e.req = nil
+		if r := c.rob.req[idx]; r != nil {
+			r.Release()
+			c.rob.req[idx] = nil
 		}
-		if c.cfg.WrongPathExec && e.inst.Op.IsLoad() && !e.memIssued {
+		if c.cfg.WrongPathExec && in.Op.IsLoad() && c.rob.flags[idx]&fMemIssued == 0 {
 			// Compute the effective address if its operand is ready: these
 			// are the "ready" wrong-path loads of Figure 3 that continue to
 			// memory; address-unknown loads squash outright.
-			if !e.addrKnown && e.src1.ready {
-				e.addr = isa.EffAddr(e.inst, e.src1.ival)
-				e.addrKnown = true
+			f := c.rob.flags[idx]
+			if f&fAddrKnown == 0 && f&fS1Rdy != 0 {
+				c.rob.addr[idx] = isa.EffAddr(in, c.rob.s1i[idx])
+				c.rob.flags[idx] = f | fAddrKnown
 			}
-			if e.addrKnown && len(c.wrongQ) < c.cfg.LSQSize {
-				c.wrongQ = append(c.wrongQ, wrongLoad{addr: e.addr, pc: e.pc})
+			if c.rob.flags[idx]&fAddrKnown != 0 && len(c.wrongQ) < c.cfg.LSQSize {
+				c.wrongQ = append(c.wrongQ, wrongLoad{addr: c.rob.addr[idx], pc: int(c.rob.pc[idx])})
 			}
 		}
 	}
@@ -470,28 +486,29 @@ func (c *Core) recover(cycle uint64, agePos, nextPC int) {
 		c.execMask[i] = 0
 	}
 	for p := 0; p < c.robCount; p++ {
-		c.rob[c.slotAt(p)].waitHead = -1
+		c.rob.waitHead[c.slotAt(p)] = -1
 	}
 	for p := 0; p < c.robCount; p++ {
 		idx := c.slotAt(p)
-		e := &c.rob[idx]
-		if e.inst.HasDest() {
-			if e.inst.Op.FPDest() {
-				c.renameFP[e.inst.Rd] = idx
+		in := c.rob.inst[idx]
+		if in.HasDest() {
+			if in.Op.FPDest() {
+				c.renameFP[in.Rd] = idx
 			} else {
-				c.renameInt[e.inst.Rd] = idx
+				c.renameInt[in.Rd] = idx
 			}
 		}
-		switch e.state {
+		switch c.rob.state[idx] {
 		case stDispatched:
-			e.wNext[0], e.wNext[1] = -1, -1
-			if e.use1 && !e.src1.ready {
-				c.addWaiter(e.src1.rob, idx, 0)
+			c.rob.wNext0[idx], c.rob.wNext1[idx] = -1, -1
+			f := c.rob.flags[idx]
+			if f&fUse1 != 0 && f&fS1Rdy == 0 {
+				c.addWaiter(int(c.rob.s1rob[idx]), idx, 0)
 			}
-			if e.use2 && !e.src2.ready {
-				c.addWaiter(e.src2.rob, idx, 1)
+			if f&fUse2 != 0 && f&fS2Rdy == 0 {
+				c.addWaiter(int(c.rob.s2rob[idx]), idx, 1)
 			}
-			if entryReady(e) {
+			if c.entryReady(idx) {
 				maskSet(c.readyMask, idx)
 			}
 		case stExecuting:
@@ -511,7 +528,7 @@ func (c *Core) issue(cycle uint64) {
 		return
 	}
 	issued := 0
-	n := len(c.rob)
+	n := c.cfg.ROBSize
 	end := c.robHead + c.robCount
 	if end <= n {
 		c.issueRange(cycle, c.robHead, end, &issued)
@@ -539,8 +556,7 @@ func (c *Core) issueRange(cycle uint64, lo, hi int, issued *int) {
 			b := bits.TrailingZeros64(word)
 			word &^= 1 << uint(b)
 			idx := w<<6 | b
-			e := &c.rob[idx]
-			in := e.inst
+			in := c.rob.inst[idx]
 			switch {
 			case in.Op.IsLoad():
 				if c.issueLoad(cycle, idx) {
@@ -552,16 +568,15 @@ func (c *Core) issueRange(cycle uint64, lo, hi int, issued *int) {
 				// Stores compute address and data; the cache access happens
 				// at commit (sequential mode) or write-back drain (parallel
 				// mode).
-				e.addr = isa.EffAddr(in, e.src1.ival)
-				e.addrKnown = true
+				c.rob.addr[idx] = isa.EffAddr(in, c.rob.s1i[idx])
 				if in.Op == isa.FST {
-					e.storeBits = int64(math.Float64bits(e.src2.fval))
+					c.rob.storeBits[idx] = int64(math.Float64bits(c.rob.s2f[idx]))
 				} else {
-					e.storeBits = e.src2.ival
+					c.rob.storeBits[idx] = c.rob.s2i[idx]
 				}
-				e.valKnown = true
-				e.state = stExecuting
-				e.doneAt = cycle + 1
+				c.rob.flags[idx] |= fAddrKnown | fValKnown
+				c.rob.state[idx] = stExecuting
+				c.rob.doneAt[idx] = cycle + 1
 				maskClear(c.readyMask, idx)
 				maskSet(c.execMask, idx)
 				*issued++
@@ -602,32 +617,33 @@ func (c *Core) takeFU(fu isa.FUClass) bool {
 
 // execALU computes a non-memory result, visible after the op latency.
 func (c *Core) execALU(cycle uint64, idx int) {
-	e := &c.rob[idx]
-	in := e.inst
+	in := c.rob.inst[idx]
 	switch in.Op {
 	case isa.JAL:
-		e.ival = int64(e.pc + 1)
+		c.rob.ival[idx] = int64(int(c.rob.pc[idx]) + 1)
 	case isa.JMP, isa.NOP, isa.HALT, isa.BEGIN, isa.FORK, isa.TSAGD,
 		isa.THEND, isa.ABORT:
 		// Markers and unconditional jumps carry no data result.
 	default:
-		e.ival, e.fval = isa.Eval(in, e.src1.ival, e.src2.ival, e.src1.fval, e.src2.fval)
+		c.rob.ival[idx], c.rob.fval[idx] = isa.Eval(in,
+			c.rob.s1i[idx], c.rob.s2i[idx], c.rob.s1f[idx], c.rob.s2f[idx])
 	}
-	e.state = stExecuting
-	e.doneAt = cycle + uint64(in.Op.Latency())
+	c.rob.state[idx] = stExecuting
+	c.rob.doneAt[idx] = cycle + uint64(in.Op.Latency())
 }
 
 // issueLoad attempts to start a load: memory ordering against older stores,
 // store-to-load forwarding, then the DMem (memory buffer + caches).
 func (c *Core) issueLoad(cycle uint64, idx int) bool {
-	e := &c.rob[idx]
-	if !e.addrKnown {
-		e.addr = isa.EffAddr(e.inst, e.src1.ival)
-		e.addrKnown = true
+	in := c.rob.inst[idx]
+	if c.rob.flags[idx]&fAddrKnown == 0 {
+		c.rob.addr[idx] = isa.EffAddr(in, c.rob.s1i[idx])
+		c.rob.flags[idx] |= fAddrKnown
 	}
+	addr := c.rob.addr[idx]
 	// Conservative disambiguation: every older store must have a known
 	// address; the nearest older same-address store forwards its data.
-	var fwd *robEntry
+	fwd := -1
 	j := c.lsqHead
 	for i := 0; i < c.lsqCount; i++ {
 		s := c.lsqBuf[j]
@@ -638,56 +654,55 @@ func (c *Core) issueLoad(cycle uint64, idx int) bool {
 		if s == idx {
 			break
 		}
-		se := &c.rob[s]
-		if !se.inst.Op.IsStore() {
+		if !c.rob.inst[s].Op.IsStore() {
 			continue
 		}
-		if !se.addrKnown {
+		if c.rob.flags[s]&fAddrKnown == 0 {
 			return false // wait: unresolved older store address
 		}
-		if se.addr == e.addr {
-			fwd = se
+		if c.rob.addr[s] == addr {
+			fwd = s
 		}
 	}
-	if fwd != nil {
-		if !fwd.valKnown {
+	if fwd >= 0 {
+		if c.rob.flags[fwd]&fValKnown == 0 {
 			return false // data not ready yet
 		}
-		c.finishLoad(e, fwd.storeBits, cycle+1)
-		e.memIssued = true
+		c.finishLoad(idx, c.rob.storeBits[fwd], cycle+1)
+		c.rob.flags[idx] |= fMemIssued
 		return true
 	}
 	if !c.dmem.LoadsAllowed() {
 		return false
 	}
-	res := c.dmem.TryLoad(cycle, e.addr, c.wrongMode, e.pc)
+	res := c.dmem.TryLoad(cycle, addr, c.wrongMode, int(c.rob.pc[idx]))
 	switch res.Status {
 	case LoadStall, LoadNoPort:
 		return false
 	case LoadForwarded:
-		c.finishLoad(e, res.Value, cycle+1)
-		e.memIssued = true
+		c.finishLoad(idx, res.Value, cycle+1)
+		c.rob.flags[idx] |= fMemIssued
 		return true
 	default: // LoadIssued
-		e.req = res.Req
-		c.finishLoadValue(e, res.Value)
-		e.state = stExecuting
-		e.memIssued = true
+		c.rob.req[idx] = res.Req
+		c.finishLoadValue(idx, res.Value)
+		c.rob.state[idx] = stExecuting
+		c.rob.flags[idx] |= fMemIssued
 		return true
 	}
 }
 
-func (c *Core) finishLoad(e *robEntry, bits int64, doneAt uint64) {
-	c.finishLoadValue(e, bits)
-	e.state = stExecuting
-	e.doneAt = doneAt
+func (c *Core) finishLoad(idx int, bits int64, doneAt uint64) {
+	c.finishLoadValue(idx, bits)
+	c.rob.state[idx] = stExecuting
+	c.rob.doneAt[idx] = doneAt
 }
 
-func (c *Core) finishLoadValue(e *robEntry, bits int64) {
-	if e.inst.Op == isa.FLD {
-		e.fval = math.Float64frombits(uint64(bits))
+func (c *Core) finishLoadValue(idx int, bits int64) {
+	if c.rob.inst[idx].Op == isa.FLD {
+		c.rob.fval[idx] = math.Float64frombits(uint64(bits))
 	} else {
-		e.ival = bits
+		c.rob.ival[idx] = bits
 	}
 }
 
@@ -715,7 +730,7 @@ func (c *Core) fetch(cycle uint64) {
 		return
 	}
 	for n := 0; n < c.cfg.IssueWidth; n++ {
-		if c.robCount >= len(c.rob) {
+		if c.robCount >= c.cfg.ROBSize {
 			return
 		}
 		in := c.prog.At(c.fetchPC)
@@ -744,24 +759,29 @@ func (c *Core) fetch(cycle uint64) {
 // its operands and predicting control flow.
 func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 	idx := c.robTail
-	c.robTail = (c.robTail + 1) % len(c.rob)
+	c.robTail = (c.robTail + 1) % c.cfg.ROBSize
 	c.robCount++
-	e := &c.rob[idx]
-	*e = robEntry{inst: in, pc: c.fetchPC, state: stDispatched,
-		waitHead: -1, wNext: [2]int32{-1, -1}}
+	c.rob.inst[idx] = in
+	c.rob.pc[idx] = int32(c.fetchPC)
+	c.rob.state[idx] = stDispatched
+	c.rob.flags[idx] = 0
+	c.rob.bflags[idx] = 0
+	c.rob.waitHead[idx] = -1
+	c.rob.wNext0[idx], c.rob.wNext1[idx] = -1, -1
 	maskClear(c.readyMask, idx)
 	maskClear(c.execMask, idx)
 
 	r1, r2, use1, use2, fp1, fp2 := in.SrcRegs()
-	e.use1, e.use2 = use1, use2
 	if use1 {
-		e.src1 = c.readOperand(r1, fp1)
+		c.rob.flags[idx] |= fUse1
+		c.readOperand(idx, 0, r1, fp1)
 	}
 	if use2 {
-		e.src2 = c.readOperand(r2, fp2)
+		c.rob.flags[idx] |= fUse2
+		c.readOperand(idx, 1, r2, fp2)
 	}
 	if c.metrics != nil {
-		c.observeLoadUse(idx, e)
+		c.observeLoadUse(idx)
 	}
 	if isCtl(in.Op) {
 		c.ctlInFlight++
@@ -770,18 +790,19 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 	// Markers with no execution latency complete immediately at dispatch+1.
 	switch in.Op {
 	case isa.NOP, isa.HALT, isa.BEGIN, isa.FORK, isa.TSAGD, isa.THEND, isa.ABORT:
-		e.state = stExecuting
-		e.doneAt = cycle + 1
+		c.rob.state[idx] = stExecuting
+		c.rob.doneAt[idx] = cycle + 1
 	}
 
-	if e.state == stDispatched {
-		if e.use1 && !e.src1.ready {
-			c.addWaiter(e.src1.rob, idx, 0)
+	if c.rob.state[idx] == stDispatched {
+		f := c.rob.flags[idx]
+		if f&fUse1 != 0 && f&fS1Rdy == 0 {
+			c.addWaiter(int(c.rob.s1rob[idx]), idx, 0)
 		}
-		if e.use2 && !e.src2.ready {
-			c.addWaiter(e.src2.rob, idx, 1)
+		if f&fUse2 != 0 && f&fS2Rdy == 0 {
+			c.addWaiter(int(c.rob.s2rob[idx]), idx, 1)
 		}
-		if entryReady(e) {
+		if c.entryReady(idx) {
 			maskSet(c.readyMask, idx)
 		}
 	} else {
@@ -818,18 +839,17 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 		next = int(in.Imm)
 	case in.Op == isa.JR:
 		if tgt, ok := c.bp.PopRAS(); ok {
-			e.predTaken = true
-			e.predTarget = tgt
+			c.rob.bflags[idx] |= bPredTaken
+			c.rob.predTarget[idx] = int32(tgt)
 			next = tgt
 		} else {
-			e.predTaken = false
-			e.predTarget = c.fetchPC + 1
+			c.rob.predTarget[idx] = int32(c.fetchPC + 1)
 		}
 	case in.Op.IsBranch():
-		e.predTaken = c.bp.PredictDirection(c.fetchPC)
-		e.predTarget = int(in.Imm)
-		if e.predTaken {
-			next = e.predTarget
+		c.rob.predTarget[idx] = int32(in.Imm)
+		if c.bp.PredictDirection(c.fetchPC) {
+			c.rob.bflags[idx] |= bPredTaken
+			next = int(c.rob.predTarget[idx])
 		}
 	}
 	c.fetchPC = next
@@ -839,12 +859,13 @@ func (c *Core) dispatch(cycle uint64, in isa.Inst) {
 // in-flight load, the program-order distance (in instructions) from that
 // load to this consumer — the window the memory system has to hide the
 // load's latency. Called only when a metrics collector is attached.
-func (c *Core) observeLoadUse(idx int, e *robEntry) {
-	if e.use1 && !e.src1.ready && c.rob[e.src1.rob].inst.Op.IsLoad() {
-		c.obsLoadUse(uint64(c.posOf(idx) - c.posOf(e.src1.rob)))
+func (c *Core) observeLoadUse(idx int) {
+	f := c.rob.flags[idx]
+	if f&fUse1 != 0 && f&fS1Rdy == 0 && c.rob.inst[c.rob.s1rob[idx]].Op.IsLoad() {
+		c.obsLoadUse(uint64(c.posOf(idx) - c.posOf(int(c.rob.s1rob[idx]))))
 	}
-	if e.use2 && !e.src2.ready && c.rob[e.src2.rob].inst.Op.IsLoad() {
-		c.obsLoadUse(uint64(c.posOf(idx) - c.posOf(e.src2.rob)))
+	if f&fUse2 != 0 && f&fS2Rdy == 0 && c.rob.inst[c.rob.s2rob[idx]].Op.IsLoad() {
+		c.obsLoadUse(uint64(c.posOf(idx) - c.posOf(int(c.rob.s2rob[idx]))))
 	}
 }
 
@@ -858,27 +879,41 @@ func (c *Core) obsLoadUse(dist uint64) {
 	c.metrics.ObserveLoadUse(dist)
 }
 
-// readOperand resolves a source register to a value or a producer slot.
-func (c *Core) readOperand(r uint8, fp bool) operand {
+// readOperand resolves source register r into operand op (0 or 1) of slot
+// idx: a ready value, or a link to the producer's ROB slot plus a pending
+// wake-up registration (done by dispatch after both operands resolve).
+func (c *Core) readOperand(idx, op int, r uint8, fp bool) {
+	prod := -1
+	rdy := false
+	var iv int64
+	var fv float64
 	if fp {
-		if p := c.renameFP[r]; p >= 0 {
-			pe := &c.rob[p]
-			if pe.state == stDone {
-				return operand{ready: true, ival: pe.ival, fval: pe.fval}
-			}
-			return operand{rob: p}
+		if prod = c.renameFP[r]; prod < 0 {
+			rdy, fv = true, c.FPRegs[r]
 		}
-		return operand{ready: true, fval: c.FPRegs[r]}
+	} else if r == 0 {
+		rdy = true
+	} else if prod = c.renameInt[r]; prod < 0 {
+		rdy, iv = true, c.IntRegs[r]
 	}
-	if r == 0 {
-		return operand{ready: true}
+	if prod >= 0 && c.rob.state[prod] == stDone {
+		rdy, iv, fv = true, c.rob.ival[prod], c.rob.fval[prod]
 	}
-	if p := c.renameInt[r]; p >= 0 {
-		pe := &c.rob[p]
-		if pe.state == stDone {
-			return operand{ready: true, ival: pe.ival, fval: pe.fval}
+	if op == 0 {
+		if rdy {
+			c.rob.flags[idx] |= fS1Rdy
+			c.rob.s1i[idx] = iv
+			c.rob.s1f[idx] = fv
+		} else {
+			c.rob.s1rob[idx] = int32(prod)
 		}
-		return operand{rob: p}
+	} else {
+		if rdy {
+			c.rob.flags[idx] |= fS2Rdy
+			c.rob.s2i[idx] = iv
+			c.rob.s2f[idx] = fv
+		} else {
+			c.rob.s2rob[idx] = int32(prod)
+		}
 	}
-	return operand{ready: true, ival: c.IntRegs[r]}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/metrics"
 	"repro/internal/runstore"
+	"repro/internal/sample"
 	"repro/internal/simerr"
 	"repro/internal/sta"
 	"repro/internal/stats"
@@ -101,6 +102,16 @@ type Runner struct {
 	// dump the flight recorder, and suite progress is logged structurally
 	// instead of through Verbose.
 	Telemetry *telemetry.Run
+
+	// Sample, when enabled, runs every cell as a SMARTS-style sampled
+	// simulation (sta.Machine.Sample): detailed execution only inside
+	// measurement windows, functional fast-forward in between, and a
+	// whole-run estimate with confidence intervals on each result. Sampled
+	// cells memoize, journal, and archive under the sampled memo key
+	// (runstore.MemoKeySampled), so they can never be silently compared
+	// against detailed runs. The architectural cross-check against the
+	// functional reference still applies — fast-forward is exact on memory.
+	Sample sample.Config
 
 	// Remote, when non-nil, is offered every cell before the in-process
 	// simulation path: the fleet coordinator's dispatch hook. A handled
@@ -222,7 +233,17 @@ func MemoKey(bench string, cfg sta.Config) string {
 	return runstore.MemoKey(bench, cfg)
 }
 
-func key(bench string, cfg sta.Config) string { return MemoKey(bench, cfg) }
+// key renders this runner's memo key for a cell: the detailed key, plus
+// the canonical sampling suffix when the runner executes sampled
+// simulations — so sampled and detailed results never share a memo slot,
+// a ledger entry, or an archive address.
+func (r *Runner) key(bench string, cfg sta.Config) string {
+	if r.Sample.Enabled() {
+		return runstore.MemoKeySampled(bench, cfg,
+			r.Sample.WarmupInsts, r.Sample.MeasureInsts, r.Sample.PeriodInsts)
+	}
+	return MemoKey(bench, cfg)
+}
 
 // Result runs one simulation (memoized) and validates the architectural
 // outcome against the functional reference. Every fresh run is also checked
@@ -234,7 +255,7 @@ func key(bench string, cfg sta.Config) string { return MemoKey(bench, cfg) }
 // failures on the export paths are retried, and a failed cell is
 // quarantined so later lookups fail fast (see SuiteError).
 func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err error) {
-	k := key(bench, cfg)
+	k := r.key(bench, cfg)
 	var cell *telemetry.Cell
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -283,7 +304,9 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 		remote     bool
 	)
 	simStart := time.Now()
-	if r.Remote != nil && r.MetricsInterval == 0 {
+	if r.Remote != nil && r.MetricsInterval == 0 && !r.Sample.Enabled() {
+		// (Sampled cells always run locally: the remote protocol carries
+		// neither the sampling regime nor the estimate.)
 		rres, rrep, handled, rerr := r.runRemote(bench, cfg, cell)
 		if handled {
 			remote = true
@@ -303,6 +326,7 @@ func (r *Runner) Result(bench string, cfg sta.Config) (res *sta.Result, err erro
 		if err != nil {
 			return nil, r.quarantine(k, bench, simerr.Classify("harness.Result", err, simerr.BadProgram))
 		}
+		m.Sample = r.Sample
 		switch {
 		case r.SimWorkers > 0:
 			m.Workers = r.SimWorkers
@@ -470,7 +494,7 @@ func (r *Runner) writeMetrics(bench, key string, col *metrics.Collector, cycles 
 // AttribReport returns the attribution report memoized for a simulation,
 // running it (with attribution attached) if needed.
 func (r *Runner) AttribReport(bench string, cfg sta.Config) (*attrib.Report, error) {
-	k := key(bench, cfg)
+	k := r.key(bench, cfg)
 	r.mu.Lock()
 	rep := r.attribs[k]
 	r.mu.Unlock()
@@ -540,7 +564,7 @@ func (r *Runner) batch(jobs []job) error {
 					if failures == nil {
 						failures = make(map[string]error)
 					}
-					failures[key(j.bench, j.cfg)] = err
+					failures[r.key(j.bench, j.cfg)] = err
 					fmu.Unlock()
 				}
 			}

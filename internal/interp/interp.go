@@ -48,87 +48,29 @@ func Run(p *isa.Program) (*Result, error) {
 }
 
 // RunLimit is Run with an explicit dynamic-instruction bound; exceeding it
-// returns an error (runaway detection).
+// returns an error (runaway detection). It drives the same Engine the
+// sampled-simulation fast-forward path uses, so the golden model and the
+// fast-forward executor share one set of semantics by construction.
 func RunLimit(p *isa.Program, maxInsts int64) (*Result, error) {
 	img := memimg.New()
 	asm.LoadData(p, img)
 	r := &Result{Mem: img}
-	var (
-		pc     = p.Entry
-		forkTo = -1
-		inPar  bool
-	)
-	for r.Insts < maxInsts {
-		in := p.At(pc)
-		r.Insts++
-		if inPar {
-			r.ParInsts++
-		}
-		next := pc + 1
-		switch {
-		case in.Op == isa.HALT:
-			r.MemCheck = img.Checksum()
-			return r, nil
-		case in.Op == isa.NOP:
-		case in.Op == isa.BEGIN:
-			inPar = true
-			forkTo = -1
-		case in.Op == isa.FORK:
-			forkTo = int(in.Imm)
-			r.Forks++
-		case in.Op == isa.TSAGD:
-		case in.Op == isa.TSA:
-		case in.Op == isa.THEND:
-			if forkTo < 0 {
-				return nil, fmt.Errorf("interp: THEND at pc %d with no preceding FORK", pc)
-			}
-			next = forkTo
-		case in.Op == isa.ABORT:
-			inPar = false
-			forkTo = -1
-		case in.Op == isa.LD:
-			r.Loads++
-			addr := isa.EffAddr(in, r.IntRegs[in.Rs1])
-			if in.Rd != 0 {
-				r.IntRegs[in.Rd] = img.ReadWord(addr)
-			}
-		case in.Op == isa.FLD:
-			r.Loads++
-			addr := isa.EffAddr(in, r.IntRegs[in.Rs1])
-			r.FPRegs[in.Rd] = img.ReadFloat(addr)
-		case in.Op == isa.ST || in.Op == isa.TST:
-			r.Stores++
-			addr := isa.EffAddr(in, r.IntRegs[in.Rs1])
-			img.WriteWord(addr, r.IntRegs[in.Rs2])
-		case in.Op == isa.FST:
-			r.Stores++
-			addr := isa.EffAddr(in, r.IntRegs[in.Rs1])
-			img.WriteFloat(addr, r.FPRegs[in.Rs2])
-		case in.Op.IsBranch():
-			r.Branches++
-			if isa.BranchTaken(in, r.IntRegs[in.Rs1], r.IntRegs[in.Rs2]) {
-				r.Taken++
-				next = int(in.Imm)
-			}
-		case in.Op == isa.JMP:
-			next = int(in.Imm)
-		case in.Op == isa.JAL:
-			if in.Rd != 0 {
-				r.IntRegs[in.Rd] = int64(pc + 1)
-			}
-			next = int(in.Imm)
-		case in.Op == isa.JR:
-			next = int(r.IntRegs[in.Rs1])
-		default:
-			iv, fv := isa.Eval(in, r.IntRegs[in.Rs1], r.IntRegs[in.Rs2],
-				r.FPRegs[in.Rs1], r.FPRegs[in.Rs2])
-			if in.Op.FPDest() {
-				r.FPRegs[in.Rd] = fv
-			} else if in.Rd != 0 {
-				r.IntRegs[in.Rd] = iv
-			}
-		}
-		pc = next
+	e := Engine{Prog: p, Mem: img, Int: &r.IntRegs, FP: &r.FPRegs}
+	e.Reset(p.Entry)
+	_, err := e.StepN(maxInsts)
+	r.Insts = e.Counts.Insts
+	r.Loads = e.Counts.Loads
+	r.Stores = e.Counts.Stores
+	r.Branches = e.Counts.Branches
+	r.Taken = e.Counts.Taken
+	r.ParInsts = e.Counts.ParInsts
+	r.Forks = e.Counts.Forks
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("interp: exceeded %d instructions (runaway program?)", maxInsts)
+	if !e.Halted {
+		return nil, fmt.Errorf("interp: exceeded %d instructions (runaway program?)", maxInsts)
+	}
+	r.MemCheck = img.Checksum()
+	return r, nil
 }

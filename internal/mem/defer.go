@@ -75,8 +75,8 @@ func (h *Hierarchy) BeginCycleTU(tu int) { h.dunits[tu].beginCycle() }
 // in TU-ID order (and, for multi-cycle windows, once per cycle slice) so the
 // global replay order matches sequential stepping.
 func (h *Hierarchy) FlushDeferred(tu int, upTo uint64) {
-	q := h.def[tu]
-	d := h.dunits[tu]
+	q := &h.def[tu]
+	d := &h.dunits[tu]
 	i := q.head
 	for ; i < len(q.effects); i++ {
 		e := &q.effects[i]
@@ -127,7 +127,7 @@ func (h *Hierarchy) FlushDeferred(tu int, upTo uint64) {
 // collectors mirror the original call sites, so a queue never accumulates
 // events no collector would observe.
 
-func (d *DUnit) q() *tuDef { return d.h.def[d.tu] }
+func (d *DUnit) q() *tuDef { return &d.h.def[d.tu] }
 
 func (d *DUnit) obsMemAccess(cycle uint64, req *Request, at uint64) {
 	if q := d.q(); q.active {

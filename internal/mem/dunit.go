@@ -49,14 +49,16 @@ type DUnit struct {
 	UpdateRecv  uint64 // sequential-coherence updates applied
 }
 
-func newDUnit(h *Hierarchy, tu int, cfg Config) (*DUnit, error) {
+// init prepares a zero-valued data unit in place: DUnits live in the
+// hierarchy's value slice, so they are initialized where they sit.
+func (d *DUnit) init(h *Hierarchy, tu int, cfg Config) error {
 	l1, err := cache.New(cache.Params{
 		SizeBytes: cfg.L1DSize, Assoc: cfg.L1DAssoc, BlockBytes: cfg.L1DBlock,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	d := &DUnit{
+	*d = DUnit{
 		h:    h,
 		tu:   tu,
 		cfg:  cfg,
@@ -66,10 +68,10 @@ func newDUnit(h *Hierarchy, tu int, cfg Config) (*DUnit, error) {
 	if cfg.Side != SideNone {
 		d.side, err = cache.NewFullyAssoc(cfg.SideEntries, cfg.L1DBlock)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return d, nil
+	return nil
 }
 
 // L1 exposes the L1 tag array for tests and invariant checks.

@@ -18,15 +18,22 @@ type Hierarchy struct {
 	cfg    Config
 	l2     *cache.Cache
 	l2MSHR *cache.MSHRFile
-	dunits []*DUnit
-	iunits []*IUnit
+
+	// Per-TU units and effect queues live inline, indexed by TU id: the
+	// per-cycle sweeps (BeginCycle, SequentialUpdate, warming) touch every
+	// unit, and value slices keep them contiguous instead of one pointer
+	// dereference per TU. Sized once at NewHierarchy and never reallocated
+	// — DUnit/IUnit hand out &dunits[i]/&iunits[i] pointers that must stay
+	// valid for the hierarchy's lifetime.
+	dunits []DUnit
+	iunits []IUnit
 
 	// l2Queue is a ring: l2qHead indexes the front, new requests append.
 	// The backing array is reused once the queue drains.
 	l2Queue []l2Req
 	l2qHead int
-	fills   []fill   // binary min-heap ordered by at
-	def     []*tuDef // per-TU deferred-effect queues (parallel stepping)
+	fills   []fill  // binary min-heap ordered by at
+	def     []tuDef // per-TU deferred-effect queues (parallel stepping)
 	cycle   uint64
 	chaos   *chaos.Injector
 
@@ -110,27 +117,25 @@ func NewHierarchy(nTU int, cfg Config) (*Hierarchy, error) {
 		l2:     l2,
 		l2MSHR: cache.NewMSHRFile(cfg.L2MSHRs),
 	}
+	h.dunits = make([]DUnit, nTU)
+	h.iunits = make([]IUnit, nTU)
+	h.def = make([]tuDef, nTU)
 	for tu := 0; tu < nTU; tu++ {
-		du, err := newDUnit(h, tu, cfg)
-		if err != nil {
+		if err := h.dunits[tu].init(h, tu, cfg); err != nil {
 			return nil, err
 		}
-		h.dunits = append(h.dunits, du)
-		iu, err := newIUnit(h, tu, cfg)
-		if err != nil {
+		if err := h.iunits[tu].init(h, tu, cfg); err != nil {
 			return nil, err
 		}
-		h.iunits = append(h.iunits, iu)
-		h.def = append(h.def, &tuDef{})
 	}
 	return h, nil
 }
 
 // DUnit returns thread unit tu's data port.
-func (h *Hierarchy) DUnit(tu int) *DUnit { return h.dunits[tu] }
+func (h *Hierarchy) DUnit(tu int) *DUnit { return &h.dunits[tu] }
 
 // IUnit returns thread unit tu's instruction port.
-func (h *Hierarchy) IUnit(tu int) *IUnit { return h.iunits[tu] }
+func (h *Hierarchy) IUnit(tu int) *IUnit { return &h.iunits[tu] }
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
@@ -140,15 +145,15 @@ func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
 
 // SetMetrics attaches an observability collector to every data unit.
 func (h *Hierarchy) SetMetrics(c *metrics.Collector) {
-	for _, d := range h.dunits {
-		d.SetMetrics(c)
+	for i := range h.dunits {
+		h.dunits[i].SetMetrics(c)
 	}
 }
 
 // SetAttrib attaches an attribution collector to every data unit.
 func (h *Hierarchy) SetAttrib(a *attrib.Collector) {
-	for _, d := range h.dunits {
-		d.SetAttrib(a)
+	for i := range h.dunits {
+		h.dunits[i].SetAttrib(a)
 	}
 }
 
@@ -159,8 +164,8 @@ func (h *Hierarchy) SetChaos(in *chaos.Injector) { h.chaos = in }
 // BeginCycle resets per-cycle port state; call before stepping the cores.
 func (h *Hierarchy) BeginCycle(cycle uint64) {
 	h.cycle = cycle
-	for _, d := range h.dunits {
-		d.beginCycle()
+	for i := range h.dunits {
+		h.dunits[i].beginCycle()
 	}
 }
 
@@ -168,7 +173,7 @@ func (h *Hierarchy) BeginCycle(cycle uint64) {
 // phase the request is captured into the TU's effect queue instead, and
 // joins the shared FIFO at commit time in TU-ID order.
 func (h *Hierarchy) toL2(cycle uint64, tu int, isI bool, block uint64) {
-	if q := h.def[tu]; q.active {
+	if q := &h.def[tu]; q.active {
 		q.push(defEffect{kind: efToL2, cycle: cycle, a: block, flag: isI})
 		return
 	}
@@ -178,7 +183,7 @@ func (h *Hierarchy) toL2(cycle uint64, tu int, isI bool, block uint64) {
 // writeback models a dirty eviction below the L1s. Writebacks consume L2
 // bandwidth statistics but, as in sim-outorder, do not delay demand fills.
 func (h *Hierarchy) writeback(tu int, cycle uint64, block uint64) {
-	if q := h.def[tu]; q.active {
+	if q := &h.def[tu]; q.active {
 		q.push(defEffect{kind: efWriteback, cycle: cycle, a: block})
 		return
 	}
@@ -190,11 +195,11 @@ func (h *Hierarchy) writeback(tu int, cycle uint64, block uint64) {
 // to every other (idle) thread unit's private caches via the shared bus
 // update protocol of §3.2.2. It adds bus traffic but no stall cycles.
 func (h *Hierarchy) SequentialUpdate(srcTU int, addr uint64) {
-	for tu, d := range h.dunits {
+	for tu := range h.dunits {
 		if tu == srcTU {
 			continue
 		}
-		if d.applyUpdate(addr) {
+		if h.dunits[tu].applyUpdate(addr) {
 			h.UpdateBus++
 		}
 	}
@@ -319,16 +324,16 @@ func (h *Hierarchy) completeDRAM(cycle uint64, l2block uint64) {
 func (h *Hierarchy) Reset() {
 	h.l2.Reset()
 	h.l2MSHR.Reset()
-	for _, d := range h.dunits {
-		d.Reset()
+	for i := range h.dunits {
+		h.dunits[i].Reset()
 	}
-	for _, iu := range h.iunits {
-		iu.Reset()
+	for i := range h.iunits {
+		h.iunits[i].Reset()
 	}
 	h.l2Queue, h.l2qHead = nil, 0
 	h.fills = nil
-	for _, q := range h.def {
-		*q = tuDef{}
+	for i := range h.def {
+		h.def[i] = tuDef{}
 	}
 	h.L2Accesses, h.L2Misses, h.DRAMFills, h.Writebacks, h.UpdateBus = 0, 0, 0, 0, 0
 }

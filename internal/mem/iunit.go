@@ -21,14 +21,17 @@ type IUnit struct {
 	Misses  uint64
 }
 
-func newIUnit(h *Hierarchy, tu int, cfg Config) (*IUnit, error) {
+// init prepares a zero-valued instruction unit in place (IUnits live in
+// the hierarchy's value slice).
+func (iu *IUnit) init(h *Hierarchy, tu int, cfg Config) error {
 	l1i, err := cache.New(cache.Params{
 		SizeBytes: cfg.L1ISize, Assoc: cfg.L1IAssoc, BlockBytes: cfg.L1IBlock,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &IUnit{h: h, tu: tu, cfg: cfg, l1i: l1i}, nil
+	*iu = IUnit{h: h, tu: tu, cfg: cfg, l1i: l1i}
+	return nil
 }
 
 // instAddr maps an instruction index to its simulated byte address in the

@@ -107,6 +107,7 @@ type Manifest struct {
 
 	// Provenance.
 	Tool        string  `json:"tool"`               // experiments | stasim | perfbench
+	Sampling    string  `json:"sampling,omitempty"` // sampling-regime key for sampled runs ("" = detailed)
 	Seed        uint64  `json:"seed,omitempty"`     // chaos seed, when fault injection was active
 	GitRev      string  `json:"git_rev,omitempty"`  // repository revision of the producing build
 	RunID       string  `json:"run_id,omitempty"`   // telemetry run, when one was attached
@@ -154,6 +155,14 @@ func MemoKey(bench string, cfg sta.Config) string {
 	return fmt.Sprintf("%s|%+v", bench, cfg)
 }
 
+// MemoKeySampled renders the memoization key of a sampled run: the detailed
+// key plus the canonical sampling suffix. Sampled and detailed runs of the
+// same machine therefore hash to different CfgHash directories and can
+// never be silently paired as equals.
+func MemoKeySampled(bench string, cfg sta.Config, warmup, measure, period uint64) string {
+	return MemoKey(bench, cfg) + "|" + stats.SampleKey(warmup, measure, period)
+}
+
 // ShortKey compresses a memo key into the 8-hex-digit tag used by metrics
 // and attribution export names, ledger keys, and telemetry span configs.
 func ShortKey(memoKey string) string {
@@ -181,9 +190,15 @@ func CellKey(bench string, scale int, cfgHash string) string {
 
 // New builds a manifest for one completed cell. The caller fills the
 // provenance fields it knows (Tool, Seed, RunID, WallSeconds, Artifacts)
-// on the returned value before Put.
+// on the returned value before Put. A result carrying a sampled estimate
+// keys under the sampled memo key automatically.
 func New(bench string, scale int, cfg sta.Config, res *sta.Result) *Manifest {
 	mk := MemoKey(bench, cfg)
+	sampling := ""
+	if sp := res.Stats.Sampled; sp != nil {
+		mk += "|" + sp.Key()
+		sampling = sp.Key()
+	}
 	ch := CfgHash(mk)
 	name := "custom"
 	if n, ok := config.Infer(cfg); ok {
@@ -206,6 +221,7 @@ func New(bench string, scale int, cfg sta.Config, res *sta.Result) *Manifest {
 		L1Block:     cfg.Mem.L1DBlock,
 		L2KB:        cfg.Mem.L2Size / 1024,
 		MemLat:      cfg.Mem.MemLat,
+		Sampling:    sampling,
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		Stats:       res.Stats,
 		MemCheck:    res.MemCheck,

@@ -158,6 +158,14 @@ func PairByBench(a, b []*Manifest) ([][2]*Manifest, error) {
 	for _, ma := range a { // a's deterministic order
 		k := fmt.Sprintf("%s-s%d", ma.Bench, ma.Scale)
 		if mb, ok := ib[k]; ok {
+			// A sampled run's counters cover only its measurement windows;
+			// diffing one against a detailed run (or a differently-sampled
+			// one) would compare estimates with exact counts as if they were
+			// the same population.
+			if ma.Sampling != mb.Sampling {
+				return nil, fmt.Errorf("runstore: %s pairs a %s run with a %s run; diff like against like (rerun one side with matching sampling flags)",
+					k, describeSampling(ma.Sampling), describeSampling(mb.Sampling))
+			}
 			pairs = append(pairs, [2]*Manifest{ma, mb})
 		}
 	}
@@ -166,4 +174,12 @@ func PairByBench(a, b []*Manifest) ([][2]*Manifest, error) {
 		return nil, fmt.Errorf("runstore: no common (bench, scale) cells between the two selections (%d vs %d manifests)", len(a), len(b))
 	}
 	return pairs, nil
+}
+
+// describeSampling renders a manifest's sampling regime for error messages.
+func describeSampling(s string) string {
+	if s == "" {
+		return "detailed"
+	}
+	return "sampled (" + s + ")"
 }

@@ -250,6 +250,21 @@ func TestPairByBench(t *testing.T) {
 	if _, err := PairByBench([]*Manifest{a2}, []*Manifest{b1}); err == nil {
 		t.Error("disjoint selections accepted")
 	}
+	// Sampled-vs-detailed: estimates and exact counts must never pair.
+	s1 := mkManifest(t, "mcf", config.Orig, 8, 16, 1500)
+	s1.Sampling = "sample{w:1000,m:2000,p:12000}"
+	if _, err := PairByBench([]*Manifest{a1}, []*Manifest{s1}); err == nil {
+		t.Error("sampled-vs-detailed pair accepted")
+	}
+	s2 := mkManifest(t, "mcf", config.WTHWPWEC, 8, 16, 1000)
+	s2.Sampling = s1.Sampling
+	if pairs, err := PairByBench([]*Manifest{s2}, []*Manifest{s1}); err != nil || len(pairs) != 1 {
+		t.Errorf("same-regime sampled pair rejected: %v", err)
+	}
+	s2.Sampling = "sample{w:9,m:9,p:99}"
+	if _, err := PairByBench([]*Manifest{s2}, []*Manifest{s1}); err == nil {
+		t.Error("mismatched sampling regimes accepted")
+	}
 }
 
 func TestCompareSelfIsExactlyZero(t *testing.T) {

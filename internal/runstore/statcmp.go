@@ -2,8 +2,9 @@ package runstore
 
 import (
 	"fmt"
-	"math"
 	"sort"
+
+	"repro/internal/stats"
 )
 
 // The statistical comparison engine behind `simql diff`: paired deltas
@@ -52,12 +53,15 @@ type Metric struct {
 }
 
 // DiffMetrics is the metric set `simql diff` gates and reports: speedup
-// (cycle-count ratio), IPC, and the correct-path L1D miss rate.
+// (cycle-count ratio), IPC, and the correct-path L1D miss rate. Sampled
+// manifests contribute their whole-run estimates (Est*) so a sampled pair
+// compares estimate against estimate; mixing a sampled cell with a detailed
+// one is refused at pairing time (see Sampled and cmd/simql).
 func DiffMetrics() []Metric {
 	return []Metric{
-		{Name: "speedup", HigherIsBetter: true, Get: func(m *Manifest) float64 { return float64(m.Stats.Cycles) }},
-		{Name: "ipc", HigherIsBetter: true, Get: func(m *Manifest) float64 { return m.Stats.IPC() }},
-		{Name: "l1d_miss_rate", HigherIsBetter: false, Get: func(m *Manifest) float64 { return m.Stats.L1DMissRate() }},
+		{Name: "speedup", HigherIsBetter: true, Get: func(m *Manifest) float64 { return m.Stats.EstCycles() }},
+		{Name: "ipc", HigherIsBetter: true, Get: func(m *Manifest) float64 { return m.Stats.EstIPC() }},
+		{Name: "l1d_miss_rate", HigherIsBetter: false, Get: func(m *Manifest) float64 { return m.Stats.EstL1DMissRate() }},
 	}
 }
 
@@ -107,51 +111,11 @@ func mean(xs []float64) float64 {
 }
 
 // BootstrapCI returns the percentile bootstrap confidence interval of the
-// mean of xs: boot resamples with replacement, drawn from a deterministic
-// xorshift64 stream so the same inputs always produce the same interval.
+// mean of xs. The implementation lives in the stats package so the
+// sampled-simulation estimator draws from the same deterministic stream;
+// this alias keeps runstore's historical API.
 func BootstrapCI(xs []float64, boot int, seed uint64, conf float64) (lo, hi float64) {
-	if len(xs) == 0 {
-		return 0, 0
-	}
-	if len(xs) == 1 {
-		return xs[0], xs[0]
-	}
-	if boot <= 0 {
-		boot = 10000
-	}
-	if conf <= 0 || conf >= 1 {
-		conf = 0.95
-	}
-	rng := seed
-	if rng == 0 {
-		rng = 0x9e3779b97f4a7c15
-	}
-	next := func() uint64 {
-		rng ^= rng << 13
-		rng ^= rng >> 7
-		rng ^= rng << 17
-		return rng
-	}
-	means := make([]float64, boot)
-	n := uint64(len(xs))
-	for i := range means {
-		var s float64
-		for j := 0; j < len(xs); j++ {
-			s += xs[next()%n]
-		}
-		means[i] = s / float64(len(xs))
-	}
-	sort.Float64s(means)
-	alpha := (1 - conf) / 2
-	loIdx := int(math.Floor(alpha * float64(boot)))
-	hiIdx := int(math.Ceil((1-alpha)*float64(boot))) - 1
-	if loIdx < 0 {
-		loIdx = 0
-	}
-	if hiIdx >= boot {
-		hiIdx = boot - 1
-	}
-	return means[loIdx], means[hiIdx]
+	return stats.BootstrapCI(xs, boot, seed, conf)
 }
 
 // ParetoPoint is one configuration's position in the speedup-vs-cost

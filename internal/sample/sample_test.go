@@ -1,0 +1,147 @@
+package sample
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero is disabled", Config{}, true},
+		{"standard regime", Config{WarmupInsts: 1000, MeasureInsts: 2000, PeriodInsts: 12000}, true},
+		{"no warmup", Config{MeasureInsts: 500, PeriodInsts: 5000}, true},
+		{"exact", Exact(), true},
+		{"no measure", Config{WarmupInsts: 1000, PeriodInsts: 12000}, false},
+		{"period too small", Config{WarmupInsts: 1000, MeasureInsts: 2000, PeriodInsts: 3000}, false},
+		{"period equals w+m", Config{WarmupInsts: 1, MeasureInsts: 1, PeriodInsts: 2}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !Exact().Enabled() {
+		t.Error("Exact() must be an enabled regime")
+	}
+}
+
+func TestConfigKey(t *testing.T) {
+	k := Config{WarmupInsts: 1000, MeasureInsts: 2000, PeriodInsts: 12000}.Key()
+	for _, want := range []string{"1000", "2000", "12000", "sample"} {
+		if !strings.Contains(k, want) {
+			t.Errorf("key %q missing %q", k, want)
+		}
+	}
+	k2 := Config{WarmupInsts: 1000, MeasureInsts: 2000, PeriodInsts: 24000}.Key()
+	if k == k2 {
+		t.Errorf("different regimes share key %q", k)
+	}
+}
+
+// TestSamplerPhaseProtocol walks one full period through the controller
+// and checks the window accounting and the re-based second period.
+func TestSamplerPhaseProtocol(t *testing.T) {
+	cfg := Config{WarmupInsts: 100, MeasureInsts: 200, PeriodInsts: 1000}
+	s := New(cfg)
+	if s.Phase() != PhaseWarmup {
+		t.Fatalf("initial phase %v, want warmup", s.Phase())
+	}
+	if s.Due(99) || !s.Due(100) {
+		t.Fatal("warmup boundary must be exactly WarmupInsts")
+	}
+	s.BeginMeasure(Counters{Cycles: 50, Commits: 110, L1DAcc: 10, L1DMiss: 2})
+	if s.Phase() != PhaseMeasure {
+		t.Fatalf("phase %v after BeginMeasure", s.Phase())
+	}
+	if s.Due(299) || !s.Due(300) {
+		t.Fatal("measure boundary must be warmup+measure")
+	}
+	// Overshoot to vcount 320 (safepoint quantization): FF leg must aim at
+	// the period end, not a full period from here.
+	ff := s.EndMeasure(Counters{Cycles: 150, Commits: 330, L1DAcc: 40, L1DMiss: 8}, 320)
+	if ff != 680 {
+		t.Fatalf("ff leg %d insts, want 680 (period end 1000 - vcount 320)", ff)
+	}
+	w := s.Windows()
+	if len(w) != 1 || w[0] != (Window{Cycles: 100, Commits: 220, L1DAcc: 30, L1DMiss: 6}) {
+		t.Fatalf("window deltas %+v", w)
+	}
+	s.AddFF(ff)
+	// FF exits a parallel region late: the next period re-bases at the
+	// actual vcount so overshoot does not compound.
+	s.EndFF(1040)
+	if s.Phase() != PhaseWarmup {
+		t.Fatalf("phase %v after EndFF", s.Phase())
+	}
+	if s.Due(1139) || !s.Due(1140) {
+		t.Fatal("second warmup boundary must re-base at the actual vcount")
+	}
+	if s.FFInsts() != 680 {
+		t.Fatalf("FFInsts %d, want 680", s.FFInsts())
+	}
+}
+
+// TestSamplerMeasureOvershootSkipsFF: a measured window that ran past the
+// whole period (long parallel region) returns a zero FF leg.
+func TestSamplerMeasureOvershootSkipsFF(t *testing.T) {
+	s := New(Config{WarmupInsts: 100, MeasureInsts: 200, PeriodInsts: 1000})
+	s.BeginMeasure(Counters{})
+	if ff := s.EndMeasure(Counters{Cycles: 900, Commits: 1500}, 1500); ff != 0 {
+		t.Fatalf("ff leg %d after overshooting the period, want 0", ff)
+	}
+}
+
+func TestFinishEstimate(t *testing.T) {
+	cfg := Config{WarmupInsts: 100, MeasureInsts: 200, PeriodInsts: 1000}
+	s := New(cfg)
+	// Two identical windows of IPC 2.0, then 1000 FF instructions.
+	s.BeginMeasure(Counters{})
+	s.EndMeasure(Counters{Cycles: 100, Commits: 200, L1DAcc: 50, L1DMiss: 5}, 300)
+	s.AddFF(1000)
+	s.EndFF(1300)
+	s.BeginMeasure(Counters{Cycles: 150, Commits: 1400, L1DAcc: 70, L1DMiss: 7})
+	final := Counters{Cycles: 250, Commits: 1600, L1DAcc: 120, L1DMiss: 12}
+	sp := s.Finish(final)
+	if sp.Windows != 2 {
+		t.Fatalf("windows %d, want 2 (Finish closes the open one)", sp.Windows)
+	}
+	if sp.IPC != 2.0 {
+		t.Fatalf("IPC %v, want 2.0", sp.IPC)
+	}
+	// 250 detailed cycles + 1000 FF insts at IPC 2 = 750.
+	if sp.EstCycles != 750 {
+		t.Fatalf("EstCycles %v, want 750", sp.EstCycles)
+	}
+	if !(sp.EstCyclesLo <= sp.EstCycles && sp.EstCycles <= sp.EstCyclesHi) {
+		t.Fatalf("interval [%v, %v] does not bracket %v", sp.EstCyclesLo, sp.EstCyclesHi, sp.EstCycles)
+	}
+	if sp.FFInsts != 1000 || sp.DetailedCycles != 250 || sp.DetailedInsts != 1600 {
+		t.Fatalf("accounting: %+v", sp)
+	}
+	if sp.L1DMiss != 0.1 {
+		t.Fatalf("L1D miss %v, want 0.1", sp.L1DMiss)
+	}
+}
+
+// TestFinishNoWindows: halting inside the first warmup falls back to the
+// run's own rates with a degenerate interval.
+func TestFinishNoWindows(t *testing.T) {
+	s := New(Config{WarmupInsts: 1 << 40, MeasureInsts: 10, PeriodInsts: 1 << 41})
+	sp := s.Finish(Counters{Cycles: 100, Commits: 150, L1DAcc: 20, L1DMiss: 4})
+	if sp.Windows != 0 {
+		t.Fatalf("windows %d, want 0", sp.Windows)
+	}
+	if sp.IPC != 1.5 || sp.IPCLo != 1.5 || sp.IPCHi != 1.5 {
+		t.Fatalf("IPC fallback %v [%v, %v], want degenerate 1.5", sp.IPC, sp.IPCLo, sp.IPCHi)
+	}
+	if sp.EstCycles != 100 {
+		t.Fatalf("EstCycles %v with no FF, want the detailed 100", sp.EstCycles)
+	}
+}

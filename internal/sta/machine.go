@@ -9,10 +9,12 @@ import (
 	"repro/internal/attrib"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/memimg"
 	"repro/internal/metrics"
+	"repro/internal/sample"
 	"repro/internal/simerr"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -164,11 +166,26 @@ type Machine struct {
 	// the knob exists for the equivalence tests and for debugging.
 	DisableParallel bool
 
+	// Sample, when enabled, switches the run to SMARTS-style sampled
+	// simulation: detailed execution only inside the regime's measurement
+	// windows, functional fast-forward with cache/predictor warming in
+	// between, and a whole-run statistical estimate (Stats.Sampled) on the
+	// result. The zero value is fully detailed simulation. See sample.go.
+	Sample sample.Config
+
 	cfg  Config
 	prog *isa.Program
 	img  *memimg.Image
 	hier *mem.Hierarchy
-	tus  []*threadUnit
+
+	// tus holds the thread units inline, one contiguous block indexed by
+	// TU id: the per-cycle scheduling scans (step, nextWake, classify)
+	// walk every TU touching a few scalar fields each, and a value slice
+	// keeps those fields at fixed strides instead of chasing one pointer
+	// per TU. The slice is sized once at New and never reallocated —
+	// cores and the hierarchy hold &tus[i] for the machine's lifetime —
+	// so iteration must always go through &m.tus[i], never a range copy.
+	tus []threadUnit
 
 	cycle      uint64
 	halted     bool
@@ -207,6 +224,13 @@ type Machine struct {
 	// windows ran. Tests assert the parallel path is actually exercised.
 	statSegments uint64
 	statWindows  uint64
+
+	// Sampled-simulation state (see sample.go): the phase controller, the
+	// persistent functional engine for fast-forward legs, and the TU its
+	// warming hooks currently target.
+	sampler *sample.Sampler
+	eng     *interp.Engine
+	ffTU    int
 }
 
 // New builds a machine for the given program.
@@ -229,14 +253,15 @@ func New(cfg Config, prog *isa.Program) (*Machine, error) {
 	}
 	ccfg := cfg.Core
 	ccfg.SeqLoops = m.seqLoops
+	m.tus = make([]threadUnit, cfg.NumTUs)
 	for id := 0; id < cfg.NumTUs; id++ {
-		tu := newThreadUnit(m, id)
+		tu := &m.tus[id]
+		tu.init(m, id)
 		c, err := core.New(ccfg, prog, hier.IUnit(id), tu, tu)
 		if err != nil {
 			return nil, err
 		}
 		tu.core = c
-		m.tus = append(m.tus, tu)
 	}
 	return m, nil
 }
@@ -276,6 +301,9 @@ func (m *Machine) RunContext(ctx context.Context) (res *Result, err error) {
 	m.attachMetrics()
 	m.attachAttrib()
 	m.attachChaos()
+	if m.Sample.Enabled() {
+		m.initSample()
+	}
 	m.tus[0].startMain()
 	wd := m.cfg.WatchdogCycles
 	if wd == 0 {
@@ -322,6 +350,11 @@ func (m *Machine) RunContext(ctx context.Context) (res *Result, err error) {
 		} else {
 			m.step()
 		}
+		if m.sampler != nil && !m.halted {
+			if serr := m.sampleCheck(ctx); serr != nil {
+				return nil, serr
+			}
+		}
 		if !m.halted && !m.DisableSkip {
 			m.skipIdle(m.wdLastCycle + wd)
 		}
@@ -352,8 +385,8 @@ func (m *Machine) attachChaos() {
 	// never on how TUs interleave across worker goroutines. Machine- and
 	// hierarchy-level points stay on the root injector; both fire only
 	// from the coordinator.
-	for _, tu := range m.tus {
-		tu.core.SetChaos(m.Chaos.Fork(fmt.Sprintf("tu%d", tu.id)))
+	for i := range m.tus {
+		m.tus[i].core.SetChaos(m.Chaos.Fork(fmt.Sprintf("tu%d", i)))
 	}
 	m.hier.SetChaos(m.Chaos)
 }
@@ -368,8 +401,8 @@ func (m *Machine) step() {
 	}
 	if !m.livelocked {
 		m.hier.BeginCycle(m.cycle)
-		for _, tu := range m.tus {
-			tu.step(m.cycle)
+		for i := range m.tus {
+			m.tus[i].step(m.cycle)
 		}
 		m.tryStartPending()
 		m.hier.Tick(m.cycle)
@@ -443,8 +476,8 @@ func (m *Machine) nextWake(cycle uint64) uint64 {
 	if wake == cycle+1 {
 		return wake
 	}
-	for _, tu := range m.tus {
-		w := tu.nextWake(cycle)
+	for i := range m.tus {
+		w := m.tus[i].nextWake(cycle)
 		if w == cycle+1 {
 			return w
 		}
@@ -478,7 +511,7 @@ func (m *Machine) tryStartPending() {
 		return
 	}
 	target := (pf.fromTU + 1) % m.cfg.NumTUs
-	tu := m.tus[target]
+	tu := &m.tus[target]
 	if tu.state != tuIdle {
 		return
 	}
@@ -499,7 +532,7 @@ func (m *Machine) tryStartPending() {
 // start), the new thread is the oldest live thread: its predecessor's
 // stores are all in memory and no TSAG flag is owed.
 func (m *Machine) startThread(pf *pendingFork, tu *threadUnit) {
-	parent := m.tus[pf.fromTU]
+	parent := &m.tus[pf.fromTU]
 	parentLive := parent.gen == pf.parentGen
 	tu.gen++
 	tu.state = tuRun
@@ -548,7 +581,7 @@ func (m *Machine) emit(tuID int, kind trace.Kind, arg int64) {
 func (m *Machine) forEachSuccessor(tu *threadUnit, fn func(i int, s *threadUnit)) {
 	seen := 0
 	for id := tu.succ; id >= 0 && seen < m.cfg.NumTUs; {
-		s := m.tus[id]
+		s := &m.tus[id]
 		id = s.succ
 		fn(seen, s)
 		seen++
@@ -564,7 +597,8 @@ func (m *Machine) result() *Result {
 	s.Forks = m.forks
 	s.Aborts = m.aborts
 	s.WrongThreads = m.wrongThreads
-	for _, tu := range m.tus {
+	for i := range m.tus {
+		tu := &m.tus[i]
 		cs := tu.core.Stats
 		s.Commits += cs.Commits
 		s.Branches += cs.Branches
@@ -589,10 +623,13 @@ func (m *Machine) result() *Result {
 	s.L2Misses = m.hier.L2Misses
 	s.MemAccesses = m.hier.DRAMFills
 	s.UpdateTraffic = m.hier.UpdateBus
-	for _, tu := range m.tus {
-		if tu.halted {
-			r.IntRegs = tu.core.IntRegs
+	for i := range m.tus {
+		if m.tus[i].halted {
+			r.IntRegs = m.tus[i].core.IntRegs
 		}
+	}
+	if m.sampler != nil {
+		s.Sampled = m.sampler.Finish(m.sampleCounters())
 	}
 	return r
 }
@@ -611,7 +648,8 @@ var tuStateNames = [...]string{
 // supervisor, and stasim -dump-on-hang.
 func (m *Machine) Snapshot() []simerr.TUState {
 	out := make([]simerr.TUState, len(m.tus))
-	for i, tu := range m.tus {
+	for i := range m.tus {
+		tu := &m.tus[i]
 		out[i] = simerr.TUState{
 			ID:      tu.id,
 			State:   tuStateNames[tu.state],

@@ -37,8 +37,8 @@ func (m *Machine) attachMetrics() {
 	if c == nil {
 		return
 	}
-	for _, tu := range m.tus {
-		tu.core.SetMetrics(c)
+	for i := range m.tus {
+		m.tus[i].core.SetMetrics(c)
 	}
 	m.hier.SetMetrics(c)
 	if c.Timeline != nil {
@@ -61,8 +61,8 @@ func (m *Machine) attachMetrics() {
 // "machine". Values are read at export time.
 func (m *Machine) registerCounters() {
 	reg := m.Metrics.Registry
-	for _, tu := range m.tus {
-		tu := tu
+	for i := range m.tus {
+		tu := &m.tus[i]
 		cs := &tu.core.Stats
 		scope := fmt.Sprintf("tu%d", tu.id)
 		reg.RegisterFunc(scope, "commits", func() uint64 { return cs.Commits })
@@ -107,8 +107,8 @@ func (m *Machine) registerSeries() {
 	sumTU := func(f func(tu *threadUnit) uint64) func() float64 {
 		return func() float64 {
 			var n uint64
-			for _, tu := range m.tus {
-				n += f(tu)
+			for i := range m.tus {
+				n += f(&m.tus[i])
 			}
 			return float64(n)
 		}
@@ -132,8 +132,8 @@ func (m *Machine) registerSeries() {
 	s.Add("wrong_load_rate", metrics.PerCycle, wrongAcc, nil)
 	s.Add("tu_occupancy", metrics.Level, func() float64 {
 		n := 0
-		for _, tu := range m.tus {
-			if tu.state != tuIdle {
+		for i := range m.tus {
+			if m.tus[i].state != tuIdle {
 				n++
 			}
 		}

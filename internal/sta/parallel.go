@@ -175,7 +175,8 @@ func (p *parRunner) runShard(w int) {
 // classify buckets every TU for this cycle and reports whether all are safe.
 func (m *Machine) classify() bool {
 	allSafe := true
-	for i, tu := range m.tus {
+	for i := range m.tus {
+		tu := &m.tus[i]
 		c := clSafe
 		switch tu.state {
 		case tuRun:
@@ -240,14 +241,14 @@ func (m *Machine) runSegment(lo, hi int, cycle uint64, ncyc int) {
 // of the window): forward progress, TSAG chain flags, and the memory
 // hierarchy's effect queue. Callers invoke it in TU-ID order.
 func (m *Machine) flushTU(t int, wc uint64, k int) {
-	tu := m.tus[t]
+	tu := &m.tus[t]
 	m.progress += tu.pendProgress[k]
 	tu.pendProgress[k] = 0
 	for tu.chainHead < len(tu.pendChain) && tu.pendChain[tu.chainHead].c <= wc {
 		pf := tu.pendChain[tu.chainHead]
 		tu.chainHead++
 		if tu.succ >= 0 {
-			s := m.tus[tu.succ]
+			s := &m.tus[tu.succ]
 			s.hasPredFlag = true
 			s.predChainAt = pf.at
 		}
@@ -334,8 +335,8 @@ func (m *Machine) stepWindow() {
 			m.observeProgress()
 		}
 	}
-	for _, tu := range m.tus {
-		tu.core.FlushObservations()
+	for i := range m.tus {
+		m.tus[i].core.FlushObservations()
 	}
 }
 

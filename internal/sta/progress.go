@@ -161,8 +161,8 @@ func (m *Machine) publishProgress(force bool) {
 		return
 	}
 	var commits uint64
-	for _, tu := range m.tus {
-		commits += tu.core.Stats.Commits
+	for i := range m.tus {
+		commits += m.tus[i].core.Stats.Commits
 	}
 	t.cycle.Store(m.cycle)
 	t.commits.Store(commits)
@@ -174,8 +174,8 @@ func (m *Machine) publishProgress(force bool) {
 	if force || now.Sub(t.lastTick) >= t.period() {
 		t.lastTick = now
 		per := make([]uint64, len(m.tus))
-		for i, tu := range m.tus {
-			per[i] = tu.core.Stats.Commits
+		for i := range m.tus {
+			per[i] = m.tus[i].core.Stats.Commits
 		}
 		t.push(ProgressSample{Wall: now, Cycle: m.cycle, Commits: commits, PerTU: per})
 		if m.Metrics != nil && m.Metrics.Registry != nil {

@@ -47,8 +47,12 @@ type threadUnit struct {
 	chainHead    int
 }
 
-func newThreadUnit(m *Machine, id int) *threadUnit {
-	return &threadUnit{
+// init prepares a zero-valued thread unit in place. Thread units live in
+// the machine's value slice, so they are initialized where they sit rather
+// than allocated — the core and hierarchy keep the resulting &m.tus[id]
+// pointer for the machine's lifetime.
+func (tu *threadUnit) init(m *Machine, id int) {
+	*tu = threadUnit{
 		m:           m,
 		id:          id,
 		pred:        -1,
@@ -118,7 +122,7 @@ func (tu *threadUnit) updateChain(cycle uint64) {
 			tu.pendChain = append(tu.pendChain, pendFlag{c: cycle, at: at})
 			return
 		}
-		s := tu.m.tus[tu.succ]
+		s := &tu.m.tus[tu.succ]
 		s.hasPredFlag = true
 		s.predChainAt = at
 	}
@@ -288,9 +292,9 @@ func (tu *threadUnit) OnBegin(cycle uint64, mask int64) {
 	if m.seqLoops {
 		return
 	}
-	for _, other := range m.tus {
-		if other.wrong {
-			other.kill()
+	for i := range m.tus {
+		if m.tus[i].wrong {
+			m.tus[i].kill()
 		}
 	}
 	tu.gen++

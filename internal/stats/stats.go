@@ -46,6 +46,11 @@ type Sim struct {
 	L2Misses      uint64
 	MemAccesses   uint64 // DRAM fills
 	UpdateTraffic uint64 // sequential-mode coherence updates on the shared bus
+
+	// Sampled carries the whole-run statistical estimate of a sampled
+	// simulation; nil for fully detailed runs. When non-nil, the counters
+	// above cover only the cycles simulated in detail (see sampled.go).
+	Sampled *Sampled `json:"sampled,omitempty"`
 }
 
 // IPC returns committed instructions per cycle.

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Sampling-accuracy smoke: run a short sampled sweep against detailed
+# references and check the statistical contract end to end, through the
+# real stasim CLI rather than the unit-test harness.
+#
+# For every figure benchmark at scale 4 under the standard dense regime
+# (2k warmup + 4k measured per 40k-instruction period):
+#
+#   1. The sampled run's final memory checksum must equal the detailed
+#      run's — fast-forwarding through the golden interpreter is
+#      architecturally exact, always, for every program.
+#   2. On the benchmarks whose phase behavior matches the sampling
+#      assumptions (vpr, gzip: many windows, homogeneous phases), the
+#      detailed cycle count must fall inside the sampled run's own 95%
+#      bootstrap CI.
+#   3. Everywhere the estimate must stay within a coarse 35% tripwire of
+#      the truth — phase-heterogeneous programs (equake's parallel bursts,
+#      parser's skewed tail) carry a documented bias the CI does not
+#      model, but it must not silently grow.
+#
+# The per-benchmark numbers (truth, estimate, CI, coverage, error) are
+# written to $outdir/sampling_report.txt for upload as a CI artifact.
+#
+# Usage: scripts/sampling_smoke.sh [artifact-dir]
+set -euo pipefail
+
+outdir=${1:-sampling-artifacts}
+cd "$(dirname "$0")/.."
+mkdir -p "$outdir"
+report="$outdir/sampling_report.txt"
+: > "$report"
+
+go build -o "$outdir/stasim" ./cmd/stasim
+regime=(-sample-warmup 2000 -sample-measure 4000 -sample-period 40000)
+
+# Benchmarks whose detailed truth must land inside the sampled CI.
+bracket="vpr gzip"
+
+fail=0
+for b in vpr gzip mcf parser equake mesa; do
+    det=$("$outdir/stasim" -bench "$b" -scale 4 -config wth-wp-wec -tus 8)
+    smp=$("$outdir/stasim" -bench "$b" -scale 4 -config wth-wp-wec -tus 8 "${regime[@]}")
+
+    truth=$(awk '/^cycles /{print $2}' <<<"$det")
+    dsum=$(awk '/^memory checksum/{print $3}' <<<"$det")
+    ssum=$(awk '/^memory checksum/{print $3}' <<<"$smp")
+    read -r est lo hi < <(awk '/est\. cycles/{gsub(/[][,]/,""); print $3, $4, $5}' <<<"$smp")
+    cover=$(sed -n 's/.*(\([0-9.]*\)% coverage).*/\1/p' <<<"$smp")
+    windows=$(awk '/^sampling /{print $2}' <<<"$smp")
+
+    err=$(awk -v e="$est" -v t="$truth" 'BEGIN{printf "%.1f", (e-t)/t*100}')
+    in_ci=$(awk -v t="$truth" -v lo="$lo" -v hi="$hi" 'BEGIN{print (lo<=t && t<=hi) ? "yes" : "no"}')
+    printf '%-8s truth=%-8s est=%-8s ci=[%s, %s] windows=%-4s coverage=%s%% err=%s%% in_ci=%s\n' \
+        "$b" "$truth" "$est" "$lo" "$hi" "$windows" "$cover" "$err" "$in_ci" | tee -a "$report"
+
+    if [[ "$dsum" != "$ssum" ]]; then
+        echo "FAIL: $b sampled memory checksum $ssum != detailed $dsum" | tee -a "$report" >&2
+        fail=1
+    fi
+    if [[ " $bracket " == *" $b "* && "$in_ci" != yes ]]; then
+        echo "FAIL: $b detailed truth $truth outside sampled CI [$lo, $hi]" | tee -a "$report" >&2
+        fail=1
+    fi
+    if awk -v e="$err" 'BEGIN{exit !(e > 35 || e < -35)}'; then
+        echo "FAIL: $b estimate error ${err}% exceeds the 35% tripwire" | tee -a "$report" >&2
+        fail=1
+    fi
+done
+
+if [[ "$fail" != 0 ]]; then
+    echo "FAIL: sampling smoke found violations (see $report)" >&2
+    exit 1
+fi
+echo "PASS: sampled sweep architecturally exact; estimates within contract ($report)"
